@@ -1,0 +1,97 @@
+// Ablation (§VI) — switchless designs head to head.
+//
+// Compares the four call-execution policies on the synthetic workload:
+//   no_sl     — every ocall pays a transition (lower CPU, worst latency);
+//   hotcalls  — always-hot responders (best latency, flat CPU bill);
+//   intel     — static set + rbf/rbs busy-wait (good when well configured);
+//   zc        — configless adaptive workers (near-hotcalls speed, CPU
+//               proportional to demand).
+// This is the design-space table behind the paper's related-work claims.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "core/zc_backend.hpp"
+#include "hotcalls/hotcalls.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+namespace {
+
+struct Row {
+  double busy_seconds = 0;
+  double idle_cpu_percent = 0;
+};
+
+Row run_backend(const bench::BenchArgs& args, const char* which,
+                std::uint64_t total_calls) {
+  auto enclave = Enclave::create(bench::paper_machine(args));
+  const auto ids = register_synthetic_ocalls(enclave->ocalls());
+  CpuUsageMeter meter(enclave->config().logical_cpus);
+
+  const std::string name(which);
+  if (name == "hotcalls") {
+    hotcalls::HotCallsConfig cfg;
+    cfg.num_workers = 2;
+    cfg.meter = &meter;
+    enclave->set_backend(hotcalls::make_hotcalls_backend(*enclave, cfg));
+  } else if (name == "intel-all-2") {
+    intel::IntelSlConfig cfg;
+    cfg.num_workers = 2;
+    const auto set = intel_switchless_set(SynthConfig::kC4, ids);
+    cfg.switchless_fns.insert(set.begin(), set.end());
+    cfg.meter = &meter;
+    enclave->set_backend(
+        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+  } else if (name == "zc") {
+    ZcConfig cfg;
+    cfg.meter = &meter;
+    enclave->set_backend(std::make_unique<ZcBackend>(*enclave, cfg));
+  }  // else: default regular backend (no_sl)
+
+  Row row;
+  // Busy phase: total_calls across 4 threads.
+  SyntheticRunConfig run;
+  run.total_calls = total_calls;
+  run.enclave_threads = 4;
+  run.g_pauses = 50;
+  row.busy_seconds = run_synthetic(*enclave, ids, run).seconds;
+
+  // Idle phase: what the backend costs when nothing is happening.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // settle
+  meter.begin_window();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  row.idle_cpu_percent = meter.window_usage_percent();
+
+  enclave->set_backend(nullptr);  // detach before the meter dies
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t total_calls = args.full ? 100'000 : 20'000;
+
+  bench::print_header("Ablation §VI", "switchless designs head to head",
+                      args);
+  std::cout << "# busy: " << total_calls
+            << " ocalls (f,f,f,g pattern, g = 50 pauses, 4 threads); idle:"
+            << " 200 ms quiescent\n";
+
+  Table table({"design", "busy-time[s]", "idle-cpu[%]"});
+  for (const char* which : {"no_sl", "hotcalls", "intel-all-2", "zc"}) {
+    const Row row = run_backend(args, which, total_calls);
+    table.add_row({which, Table::num(row.busy_seconds, 3),
+                   Table::num(row.idle_cpu_percent, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "# expected: hotcalls fastest busy but pays idle CPU forever;"
+            << " zc close on busy time with ~0 idle CPU\n";
+  return 0;
+}

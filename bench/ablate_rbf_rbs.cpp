@@ -1,0 +1,83 @@
+// Ablation (§III-C) — effect of the Intel SDK retry parameters.
+//
+// rbf (retries_before_fallback): with long calls and saturated workers, a
+// large rbf makes callers burn up to rbf*pause cycles before falling back —
+// the paper computes 2.8M cycles (~200x a transition) for the default
+// 20,000.  Sweeping rbf exposes the crossover that explains Fig. 10.
+//
+// rbs (retries_before_sleep): controls how long idle workers spin before
+// parking; small rbs saves CPU on idle systems at a small wakeup cost.
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "workload/harness.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t total_calls = args.full ? 40'000 : 8'000;
+
+  bench::print_header("Ablation §III-C", "rbf / rbs parameter sweeps", args);
+
+  // --- rbf sweep: long g calls, few workers, everything switchless.
+  std::cout << "# rbf sweep: " << total_calls
+            << " ocalls, g = 1000 pauses, 8 enclave threads, 2 workers,"
+            << " all calls switchless (C4)\n";
+  Table rbf_table({"rbf", "time[s]", "switchless", "fallbacks"});
+  for (const std::uint32_t rbf :
+       {0u, 100u, 1'000u, 5'000u, 20'000u, 100'000u}) {
+    auto enclave = Enclave::create(bench::paper_machine(args));
+    const auto ids = register_synthetic_ocalls(enclave->ocalls());
+    intel::IntelSlConfig cfg;
+    cfg.num_workers = 2;
+    cfg.retries_before_fallback = rbf;
+    const auto set = intel_switchless_set(SynthConfig::kC4, ids);
+    cfg.switchless_fns.insert(set.begin(), set.end());
+    enclave->set_backend(
+        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+
+    SyntheticRunConfig run;
+    run.total_calls = total_calls;
+    run.enclave_threads = 8;
+    run.g_pauses = 1'000;
+    run.config = SynthConfig::kC4;
+    const auto r = run_synthetic(*enclave, ids, run);
+    rbf_table.add_row({std::to_string(rbf), Table::num(r.seconds, 3),
+                       std::to_string(r.switchless),
+                       std::to_string(r.fallbacks)});
+  }
+  rbf_table.print(std::cout);
+
+  // --- rbs sweep: idle system CPU usage for 200 ms.
+  std::cout << "\n# rbs sweep: idle CPU burned by 2 workers over 200 ms\n";
+  Table rbs_table({"rbs", "idle-cpu[%]", "worker-sleeps"});
+  for (const std::uint32_t rbs : {100u, 2'000u, 20'000u, 1'000'000'000u}) {
+    auto enclave = Enclave::create(bench::paper_machine(args));
+    const auto ids = register_synthetic_ocalls(enclave->ocalls());
+    CpuUsageMeter meter(enclave->config().logical_cpus);
+    intel::IntelSlConfig cfg;
+    cfg.num_workers = 2;
+    cfg.retries_before_sleep = rbs;
+    cfg.switchless_fns = {ids.f_a};
+    cfg.meter = &meter;
+    auto backend =
+        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg);
+    auto* raw = backend.get();
+    enclave->set_backend(std::move(backend));
+    meter.begin_window();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const double cpu = meter.window_usage_percent();
+    const std::uint64_t sleeps = raw->stats().worker_sleeps.load();
+    enclave->set_backend(nullptr);  // detach before the meter dies
+    rbs_table.add_row({rbs >= 1'000'000'000u ? "inf" : std::to_string(rbs),
+                       Table::num(cpu, 1), std::to_string(sleeps)});
+  }
+  rbs_table.print(std::cout);
+  return 0;
+}

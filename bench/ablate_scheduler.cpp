@@ -1,0 +1,118 @@
+// Ablation (§IV-A) — ZC scheduler constants.
+//
+// Sweeps the scheduler quantum Q (paper: 10 ms) and the micro-quantum
+// factor µ (paper: 1/100) on a bursty workload, reporting runtime, CPU
+// usage and how often the scheduler reconfigured.  Also compares against
+// the scheduler-off fixed-worker ablation, isolating the adaptation policy
+// from the call path.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "core/zc_backend.hpp"
+#include "workload/harness.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+namespace {
+
+struct BurstResult {
+  double seconds = 0;
+  double cpu_percent = 0;
+  std::uint64_t config_phases = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+// Bursty load: alternating 100 ms of hammering from 4 threads and 100 ms
+// of silence, for `bursts` rounds.
+BurstResult run_bursty(const bench::BenchArgs& args, ZcConfig cfg,
+                       unsigned bursts) {
+  auto enclave = Enclave::create(bench::paper_machine(args));
+  const auto ids = register_synthetic_ocalls(enclave->ocalls());
+  CpuUsageMeter meter(enclave->config().logical_cpus);
+  cfg.meter = &meter;
+  auto backend = std::make_unique<ZcBackend>(*enclave, cfg);
+  auto* raw = backend.get();
+  enclave->set_backend(std::move(backend));
+
+  meter.begin_window();
+  const std::uint64_t t0 = wall_ns();
+  for (unsigned b = 0; b < bursts; ++b) {
+    std::atomic<bool> stop{false};
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&] {
+        SimThreadScope scope(*enclave, &meter);
+        FArgs fargs;
+        while (!stop.load(std::memory_order_relaxed)) {
+          enclave->ocall(ids.f_a, fargs);
+          scope.checkpoint();
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    callers.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  BurstResult result;
+  result.seconds = static_cast<double>(wall_ns() - t0) * 1e-9;
+  result.cpu_percent = meter.window_usage_percent();
+  result.config_phases = raw->scheduler()->config_phases();
+  result.fallbacks = raw->stats().fallback_calls.load();
+  enclave->set_backend(nullptr);  // detach before the meter dies
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const unsigned bursts = args.full ? 10 : 3;
+
+  bench::print_header("Ablation §IV-A", "scheduler Q and µ sweeps", args);
+  std::cout << "# bursty load: " << bursts
+            << " rounds of 100 ms burst + 100 ms idle, 4 caller threads\n";
+
+  std::cout << "\n# quantum sweep (µ = 1/100)\n";
+  Table q_table({"Q[ms]", "cpu[%]", "config-phases", "fallbacks"});
+  for (const long q_ms : {1L, 5L, 10L, 50L, 100L}) {
+    ZcConfig cfg;
+    cfg.quantum = std::chrono::milliseconds(q_ms);
+    const auto r = run_bursty(args, cfg, bursts);
+    q_table.add_row({std::to_string(q_ms), Table::num(r.cpu_percent, 1),
+                     std::to_string(r.config_phases),
+                     std::to_string(r.fallbacks)});
+  }
+  q_table.print(std::cout);
+
+  std::cout << "\n# µ sweep (Q = 10 ms)\n";
+  Table mu_table({"mu", "cpu[%]", "config-phases", "fallbacks"});
+  for (const double mu : {0.001, 0.01, 0.1}) {
+    ZcConfig cfg;
+    cfg.mu = mu;
+    const auto r = run_bursty(args, cfg, bursts);
+    mu_table.add_row({Table::num(mu, 3), Table::num(r.cpu_percent, 1),
+                      std::to_string(r.config_phases),
+                      std::to_string(r.fallbacks)});
+  }
+  mu_table.print(std::cout);
+
+  std::cout << "\n# scheduler off: fixed worker counts (call path only)\n";
+  Table fixed_table({"workers", "cpu[%]", "fallbacks"});
+  for (const unsigned w : {0u, 1u, 2u, 4u}) {
+    ZcConfig cfg;
+    cfg.scheduler_enabled = false;
+    cfg.with_initial_workers(w);
+    const auto r = run_bursty(args, cfg, bursts);
+    fixed_table.add_row({std::to_string(w), Table::num(r.cpu_percent, 1),
+                         std::to_string(r.fallbacks)});
+  }
+  fixed_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every binary prints the rows/series of one paper figure.  Default
+// parameters are scaled down so the whole bench suite completes in minutes;
+// pass --full for paper-scale runs (100k ocalls, 60 s dynamic runs, ...).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sgx/sim_config.hpp"
+
+namespace zc::bench {
+
+struct BenchArgs {
+  bool full = false;      ///< paper-scale parameters
+  bool pin = true;        ///< confine to an 8-cpu window (paper machine)
+  unsigned repetitions = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        args.full = true;
+      } else if (std::strcmp(argv[i], "--no-pin") == 0) {
+        args.pin = false;
+      } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+        args.repetitions = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::cout << "flags: --full (paper-scale) --no-pin --reps=N\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+/// The paper's simulated machine: 8 logical CPUs, Tes = 13,500 cycles.
+inline SimConfig paper_machine(const BenchArgs& args) {
+  SimConfig cfg;
+  cfg.tes_cycles = 13'500;
+  cfg.logical_cpus = 8;
+  cfg.pin_threads = args.pin;
+  cfg.pin_base_cpu = 0;
+  return cfg;
+}
+
+inline void print_header(const std::string& figure, const std::string& what,
+                         const BenchArgs& args) {
+  std::cout << "# " << figure << " — " << what << "\n"
+            << "# scale: " << (args.full ? "full (paper)" : "reduced")
+            << ", pinned: " << (args.pin ? "yes" : "no") << "\n";
+}
+
+}  // namespace zc::bench

@@ -1,0 +1,53 @@
+// Fig. 11 — lmbench dynamic benchmark: read (/dev/zero) and write
+// (/dev/null) throughput over a 3-phase load (doubling, steady, halving),
+// under no_sl, zc, i-read, i-write and i-all with 2 and 4 Intel workers.
+//
+// Paper shape: zc ≈ 2.1-2.5x the misconfigured variants (reader under
+// i-write, writer under i-read), somewhat below the well-configured i-all.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench/lmbench_bench_shared.hpp"
+#include "common/table.hpp"
+
+using namespace zc;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Fig. 11",
+                      "dynamic read/write throughput (KOPs/s) over time",
+                      args);
+
+  auto probe = Enclave::create(bench::paper_machine(args));
+  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
+  probe.reset();
+
+  for (const unsigned intel_workers : {2u, 4u}) {
+    const auto modes = bench::lmbench_modes(ids, intel_workers);
+    std::vector<std::vector<app::PeriodSample>> samples;
+    std::cout << "\n## " << intel_workers << " workers-intel\n";
+    for (const auto& mode : modes) {
+      samples.push_back(bench::run_lmbench(args, mode).samples);
+    }
+
+    for (const bool read_side : {true, false}) {
+      std::vector<std::string> headers{"t[s]"};
+      for (const auto& m : modes) headers.push_back(m.label);
+      Table table(headers);
+      const std::size_t periods = samples.front().size();
+      for (std::size_t p = 0; p < periods; ++p) {
+        std::vector<std::string> row{
+            Table::num(samples.front()[p].t_seconds, 2)};
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+          const auto& s = samples[m][p];
+          row.push_back(Table::num(read_side ? s.read_kops : s.write_kops, 1));
+        }
+        table.add_row(std::move(row));
+      }
+      std::cout << (read_side ? "Read" : "Write")
+                << " throughput [KOPs/s]:\n";
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 12 — CPU usage of the simulated machine over the same dynamic
+// lmbench run as Fig. 11, plus the ZC scheduler's worker-count trajectory.
+//
+// Paper shape: usage rises with the load and plateaus; misconfigured
+// Intel-4 variants burn zc-level CPU for much lower throughput; i-all-4
+// uses ~1.3x more CPU than zc.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench/lmbench_bench_shared.hpp"
+#include "common/table.hpp"
+
+using namespace zc;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Fig. 12", "dynamic benchmark %CPU usage over time",
+                      args);
+
+  auto probe = Enclave::create(bench::paper_machine(args));
+  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
+  probe.reset();
+
+  for (const unsigned intel_workers : {2u, 4u}) {
+    const auto modes = bench::lmbench_modes(ids, intel_workers);
+    std::vector<std::vector<app::PeriodSample>> samples;
+    for (const auto& mode : modes) {
+      samples.push_back(bench::run_lmbench(args, mode).samples);
+    }
+
+    std::cout << "\n## " << intel_workers << " workers-intel\n";
+    std::vector<std::string> headers{"t[s]"};
+    for (const auto& m : modes) headers.push_back(m.label + "[%]");
+    headers.push_back("zc-workers");
+    Table table(headers);
+    const std::size_t periods = samples.front().size();
+    const std::size_t zc_index = 1;  // modes[1] is zc
+    for (std::size_t p = 0; p < periods; ++p) {
+      std::vector<std::string> row{Table::num(samples.front()[p].t_seconds,
+                                              2)};
+      for (std::size_t m = 0; m < modes.size(); ++m) {
+        row.push_back(Table::num(samples[m][p].cpu_percent, 1));
+      }
+      row.push_back(std::to_string(samples[zc_index][p].workers));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 2 — Runtime for 75,000 switchless-candidate ocalls to f and 25,000
+// ocalls to g (α = 3β) under Intel switchless configurations C1–C5, as the
+// worker-thread count sweeps 0..8, with 8 in-enclave threads.
+//
+// Paper shape: C1 (f switchless, g regular) fastest (~0.9 s, best with few
+// workers); C2 (g switchless) worst (~1.6 s, ≈1.8x C1); C3/C4 in between;
+// C5 (all regular) ~1.0 s and flat in the worker count.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t total_calls = args.full ? 100'000 : 40'000;
+  // The paper does not state Fig. 2's g duration; §III-B discusses worker
+  // sizing in the regime where g clearly dominates a transition, and the
+  // Fig. 3 sweep shows the C1/C2 separation emerging past ~300 pauses.
+  const std::uint64_t g_pauses = 400;
+
+  bench::print_header(
+      "Fig. 2", "synthetic f/g runtime vs Intel worker count (C1..C5)", args);
+  std::cout << "# " << total_calls << " ocalls (" << total_calls * 3 / 4
+            << " f + " << total_calls / 4 << " g), 8 enclave threads, g = "
+            << g_pauses << " pauses\n";
+
+  const std::vector<SynthConfig> configs = {
+      SynthConfig::kC1, SynthConfig::kC2, SynthConfig::kC3, SynthConfig::kC4,
+      SynthConfig::kC5};
+
+  Table table({"workers", "C1[s]", "C2[s]", "C3[s]", "C4[s]", "C5[s]"});
+  for (unsigned workers = 0; workers <= 8; ++workers) {
+    std::vector<std::string> row{std::to_string(workers)};
+    for (const SynthConfig config : configs) {
+      auto enclave = Enclave::create(bench::paper_machine(args));
+      const auto ids = register_synthetic_ocalls(enclave->ocalls());
+
+      intel::IntelSlConfig cfg;
+      cfg.num_workers = workers;
+      const auto set = intel_switchless_set(config, ids);
+      cfg.switchless_fns.insert(set.begin(), set.end());
+      enclave->set_backend(
+          std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+
+      SyntheticRunConfig run;
+      run.total_calls = total_calls;
+      run.enclave_threads = 8;
+      run.g_pauses = g_pauses;
+      run.config = config;
+
+      double best = 1e99;
+      for (unsigned rep = 0; rep < args.repetitions; ++rep) {
+        best = std::min(best, run_synthetic(*enclave, ids, run).seconds);
+      }
+      row.push_back(Table::num(best, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 3 — Runtime for 100,000 ocalls with 8 in-enclave threads for
+// different durations of the g function (0..500 pause instructions) and
+// 1..5 Intel worker threads, configurations C1/C2/C4/C5 (C3 omitted as in
+// the paper).
+//
+// Paper shape: C5 is worst for 0-pause g but competitive/best for long g;
+// C1 wins once g exceeds ~200 pauses; C4 is good for short g and scales
+// with workers.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t total_calls = args.full ? 100'000 : 10'000;
+
+  bench::print_header("Fig. 3",
+                      "runtime vs g duration (pauses) and worker count",
+                      args);
+  std::cout << "# " << total_calls << " ocalls, 8 enclave threads\n";
+
+  const std::vector<SynthConfig> configs = {SynthConfig::kC1, SynthConfig::kC2,
+                                            SynthConfig::kC4,
+                                            SynthConfig::kC5};
+  const std::vector<std::uint64_t> durations = {0, 100, 200, 300, 400, 500};
+
+  Table table(
+      {"g_pauses", "workers", "C1[s]", "C2[s]", "C4[s]", "C5[s]"});
+  for (const std::uint64_t pauses : durations) {
+    for (unsigned workers = 1; workers <= 5; ++workers) {
+      std::vector<std::string> row{std::to_string(pauses),
+                                   std::to_string(workers)};
+      for (const SynthConfig config : configs) {
+        auto enclave = Enclave::create(bench::paper_machine(args));
+        const auto ids = register_synthetic_ocalls(enclave->ocalls());
+
+        intel::IntelSlConfig cfg;
+        cfg.num_workers = workers;
+        const auto set = intel_switchless_set(config, ids);
+        cfg.switchless_fns.insert(set.begin(), set.end());
+        enclave->set_backend(
+            std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+
+        SyntheticRunConfig run;
+        run.total_calls = total_calls;
+        run.enclave_threads = 8;
+        run.g_pauses = pauses;
+        run.config = config;
+        row.push_back(Table::num(run_synthetic(*enclave, ids, run).seconds, 3));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 8 — kissdb: average latency of key/value SET commands for a varying
+// number of 8-byte key/value pairs, under no_sl, zc, and the ten Intel
+// switchless configurations (2 and 4 workers).
+//
+// Paper shape: zc ≈1.22x faster than no_sl, faster than every single-call
+// misconfiguration (i-fread/i-fwrite/i-fseeko/i-frw), slower than the
+// well-configured i-all; occasional zc spikes from worker-pool resets.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench/kissdb_bench_shared.hpp"
+#include "common/table.hpp"
+
+using namespace zc;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::vector<std::uint64_t> key_counts;
+  const std::uint64_t step = args.full ? 1'000 : 2'000;
+  for (std::uint64_t k = step; k <= 10'000; k += step) key_counts.push_back(k);
+
+  bench::print_header("Fig. 8", "kissdb SET latency (2 writers)", args);
+
+  // A throwaway enclave provides the stable std ocall ids for labelling.
+  auto probe = Enclave::create(bench::paper_machine(args));
+  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
+  probe.reset();
+
+  for (const unsigned intel_workers : {2u, 4u}) {
+    const auto modes = bench::kissdb_modes(ids, intel_workers);
+    std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b")
+              << ") 2 writers, " << intel_workers << " workers-intel\n";
+    std::vector<std::string> headers{"keys"};
+    for (const auto& m : modes) headers.push_back(m.label + "[s]");
+    Table table(headers);
+    for (const std::uint64_t keys : key_counts) {
+      std::vector<std::string> row{std::to_string(keys)};
+      for (const auto& mode : modes) {
+        double best = 1e99;
+        for (unsigned rep = 0; rep < args.repetitions; ++rep) {
+          best =
+              std::min(best, bench::run_kissdb_set(args, mode, keys).seconds);
+        }
+        row.push_back(Table::num(best, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

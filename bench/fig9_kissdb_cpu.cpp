@@ -1,0 +1,44 @@
+// Fig. 9 — kissdb: average %CPU usage of the simulated machine for the
+// same SET workload as Fig. 8.
+//
+// Paper shape: zc ~60%; Intel configurations ~55% with 2 workers and ~80%
+// with 4 workers; no_sl lowest.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench/kissdb_bench_shared.hpp"
+#include "common/table.hpp"
+
+using namespace zc;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::vector<std::uint64_t> key_counts;
+  const std::uint64_t step = args.full ? 1'000 : 2'000;
+  for (std::uint64_t k = step; k <= 10'000; k += step) key_counts.push_back(k);
+
+  bench::print_header("Fig. 9", "kissdb SET %CPU usage (2 writers)", args);
+
+  auto probe = Enclave::create(bench::paper_machine(args));
+  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
+  probe.reset();
+
+  for (const unsigned intel_workers : {2u, 4u}) {
+    const auto modes = bench::kissdb_modes(ids, intel_workers);
+    std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b")
+              << ") 2 writers, " << intel_workers << " workers-intel\n";
+    std::vector<std::string> headers{"keys"};
+    for (const auto& m : modes) headers.push_back(m.label + "[%cpu]");
+    Table table(headers);
+    for (const std::uint64_t keys : key_counts) {
+      std::vector<std::string> row{std::to_string(keys)};
+      for (const auto& mode : modes) {
+        row.push_back(
+            Table::num(bench::run_kissdb_set(args, mode, keys).cpu_percent, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

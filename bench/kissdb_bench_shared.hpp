@@ -1,0 +1,109 @@
+// Shared workload for Figs. 8 and 9: kissdb key/value SET benchmark.
+//
+// Two writer threads (paper: "2 writers") each drive their own kissdb
+// instance (kissdb, like the original C code, is single-owner) and split
+// the key budget; the metric is the wall time to set all keys plus the
+// simulated-machine CPU usage over the run.  Intel modes cover the ten
+// static configurations a developer could plausibly have chosen:
+// {fseeko, fread, fwrite, frw, all} x {2, 4} workers.
+#pragma once
+
+#include <barrier>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kissdb/kissdb.hpp"
+#include "bench/bench_common.hpp"
+#include "sgx/sim_fs.hpp"
+#include "workload/harness.hpp"
+
+namespace zc::bench {
+
+struct KissdbResult {
+  double seconds = 0;       ///< wall time to set all keys
+  double cpu_percent = 0;   ///< simulated-machine CPU usage
+};
+
+/// Builds the paper's mode list for the kissdb experiment.
+inline std::vector<workload::ModeSpec> kissdb_modes(const StdOcallIds& ids,
+                                                    unsigned intel_workers) {
+  using workload::ModeSpec;
+  const std::string w = std::to_string(intel_workers);
+  std::vector<ModeSpec> modes;
+  modes.push_back(ModeSpec::no_sl());
+  modes.push_back(ModeSpec::zc_mode());
+  modes.push_back(ModeSpec::intel("i-fseeko-" + w, {ids.fseeko},
+                                  intel_workers));
+  modes.push_back(ModeSpec::intel("i-fread-" + w, {ids.fread},
+                                  intel_workers));
+  modes.push_back(ModeSpec::intel("i-fwrite-" + w, {ids.fwrite},
+                                  intel_workers));
+  modes.push_back(ModeSpec::intel("i-frw-" + w, {ids.fread, ids.fwrite},
+                                  intel_workers));
+  modes.push_back(ModeSpec::intel(
+      "i-all-" + w, {ids.fseeko, ids.fread, ids.fwrite}, intel_workers));
+  return modes;
+}
+
+/// Runs one (mode, num_keys) cell: 2 writers setting 8-byte key/value pairs.
+inline KissdbResult run_kissdb_set(const BenchArgs& args,
+                                   const workload::ModeSpec& mode,
+                                   std::uint64_t num_keys,
+                                   unsigned writers = 2) {
+  auto enclave = Enclave::create(paper_machine(args));
+  // SimFs untrusted world: host ops cost the paper's ~250 cycles instead of
+  // this sandbox's ~10 µs syscalls (see sim_fs.hpp).
+  EnclaveLibc libc(*enclave, IoMode::kSimulated);
+  CpuUsageMeter meter(enclave->config().logical_cpus);
+  install_backend(*enclave, mode, &meter);
+
+  const std::string base = "bench_kissdb";
+  std::barrier sync(static_cast<std::ptrdiff_t>(writers) + 1);
+  std::vector<std::jthread> threads;
+  threads.reserve(writers);
+  for (unsigned t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      workload::SimThreadScope scope(*enclave, &meter);
+      app::KissDB db;
+      const std::string path = base + "." + std::to_string(t);
+      SimFs::instance().remove(path);
+      app::KissDB::Options opts;  // 1024 buckets, 8B keys/values
+      if (db.open(libc, path, opts) != app::KissDB::kOk) {
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+        return;
+      }
+      sync.arrive_and_wait();
+      enclave->ecall([&] {
+        const std::uint64_t lo = num_keys * t / writers;
+        const std::uint64_t hi = num_keys * (t + 1) / writers;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          std::uint64_t key = i;
+          std::uint64_t value = i * 2654435761ULL;
+          db.put(&key, &value);
+          if ((i & 0xFF) == 0) scope.checkpoint();
+        }
+        return 0;
+      });
+      scope.checkpoint();
+      sync.arrive_and_wait();
+      db.close();
+      SimFs::instance().remove(path);
+    });
+  }
+
+  KissdbResult result;
+  meter.begin_window();
+  sync.arrive_and_wait();
+  const std::uint64_t t0 = wall_ns();
+  sync.arrive_and_wait();
+  result.seconds = static_cast<double>(wall_ns() - t0) * 1e-9;
+  result.cpu_percent = meter.window_usage_percent();
+  threads.clear();
+  // Stop backend threads before the local meter dies.
+  install_backend(*enclave, workload::ModeSpec::no_sl());
+  return result;
+}
+
+}  // namespace zc::bench

@@ -1,0 +1,55 @@
+// Shared workload for Figs. 11 and 12: the lmbench-based dynamic benchmark
+// (1 reader on /dev/zero + 1 writer on /dev/null, 3-phase load).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/lmbench/lat_syscall.hpp"
+#include "bench/bench_common.hpp"
+#include "workload/harness.hpp"
+
+namespace zc::bench {
+
+inline std::vector<workload::ModeSpec> lmbench_modes(const StdOcallIds& ids,
+                                                     unsigned intel_workers) {
+  using workload::ModeSpec;
+  const std::string w = std::to_string(intel_workers);
+  std::vector<ModeSpec> modes;
+  modes.push_back(ModeSpec::no_sl());
+  modes.push_back(ModeSpec::zc_mode());
+  modes.push_back(ModeSpec::intel("i-read-" + w, {ids.read}, intel_workers));
+  modes.push_back(ModeSpec::intel("i-write-" + w, {ids.write}, intel_workers));
+  modes.push_back(
+      ModeSpec::intel("i-all-" + w, {ids.read, ids.write}, intel_workers));
+  return modes;
+}
+
+inline workload::PhasedPlan lmbench_plan(const BenchArgs& args) {
+  workload::PhasedPlan plan;
+  if (args.full) {
+    plan.tau_seconds = 0.5;   // paper values
+    plan.total_seconds = 60.0;
+    plan.initial_ops = 1'000;
+  } else {
+    plan.tau_seconds = 0.25;
+    plan.total_seconds = 6.0;
+    plan.initial_ops = 1'000;
+  }
+  return plan;
+}
+
+inline app::DynamicResult run_lmbench(const BenchArgs& args,
+                                      const workload::ModeSpec& mode) {
+  auto enclave = Enclave::create(paper_machine(args));
+  // SimFs devices: one-word reads/writes cost the paper's ~250-cycle
+  // syscall instead of this sandbox's ~8 µs (see sim_fs.hpp).
+  EnclaveLibc libc(*enclave, IoMode::kSimulated);
+  CpuUsageMeter meter(enclave->config().logical_cpus);
+  workload::install_backend(*enclave, mode, &meter);
+  auto result = app::run_dynamic_syscall_bench(libc, lmbench_plan(args), meter);
+  workload::install_backend(*enclave, workload::ModeSpec::no_sl());
+  return result;
+}
+
+}  // namespace zc::bench

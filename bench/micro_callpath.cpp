@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the raw call paths and the
+// marshalling/memcpy layers: regular ocall vs ZC switchless vs ZC fallback
+// vs Intel switchless, and the two tlibc memcpy implementations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/zc_backend.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "sgx/enclave.hpp"
+#include "tlibc/memcpy.hpp"
+
+namespace {
+
+using namespace zc;
+
+struct NopArgs {
+  int x = 0;
+};
+
+struct Fixture {
+  std::unique_ptr<Enclave> enclave;
+  std::uint32_t nop_id = 0;
+
+  explicit Fixture(std::uint64_t tes = 13'500) {
+    SimConfig cfg;
+    cfg.tes_cycles = tes;
+    cfg.logical_cpus = 8;
+    enclave = Enclave::create(cfg);
+    nop_id = enclave->ocalls().register_fn("nop", [](MarshalledCall&) {});
+  }
+};
+
+void BM_RegularOcall(benchmark::State& state) {
+  Fixture f(static_cast<std::uint64_t>(state.range(0)));
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall(f.nop_id, args);
+  }
+  state.SetLabel("tes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RegularOcall)->Arg(0)->Arg(13'500);
+
+void BM_ZcSwitchless(benchmark::State& state) {
+  Fixture f;
+  ZcConfig cfg;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(1);
+  f.enclave->set_backend(std::make_unique<ZcBackend>(*f.enclave, cfg));
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall(f.nop_id, args);
+  }
+}
+BENCHMARK(BM_ZcSwitchless);
+
+void BM_ZcImmediateFallback(benchmark::State& state) {
+  Fixture f;
+  ZcConfig cfg;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(0);  // no workers: every call falls back
+  f.enclave->set_backend(std::make_unique<ZcBackend>(*f.enclave, cfg));
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall(f.nop_id, args);
+  }
+}
+BENCHMARK(BM_ZcImmediateFallback);
+
+void BM_IntelSwitchless(benchmark::State& state) {
+  Fixture f;
+  intel::IntelSlConfig cfg;
+  cfg.num_workers = 1;
+  cfg.switchless_fns = {f.nop_id};
+  f.enclave->set_backend(
+      std::make_unique<intel::IntelSwitchlessBackend>(*f.enclave, cfg));
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall(f.nop_id, args);
+  }
+}
+BENCHMARK(BM_IntelSwitchless);
+
+void BM_OcallWithPayload(benchmark::State& state) {
+  Fixture f(13'500);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  std::vector<char> buf(size, 'x');
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall_in(f.nop_id, args, buf.data(), buf.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_OcallWithPayload)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_Memcpy(benchmark::State& state) {
+  const bool use_zc = state.range(0) != 0;
+  const std::size_t size = static_cast<std::size_t>(state.range(1));
+  const std::size_t misalign = static_cast<std::size_t>(state.range(2));
+  std::vector<std::uint8_t> src(size + 8, 1);
+  std::vector<std::uint8_t> dst(size + 8, 0);
+  for (auto _ : state) {
+    if (use_zc) {
+      tlibc::zc_memcpy(dst.data(), src.data() + misalign, size);
+    } else {
+      tlibc::intel_memcpy(dst.data(), src.data() + misalign, size);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(std::string(use_zc ? "zc" : "intel") +
+                 (misalign ? "/unaligned" : "/aligned"));
+}
+BENCHMARK(BM_Memcpy)
+    ->Args({0, 512, 0})
+    ->Args({0, 512, 1})
+    ->Args({0, 32768, 0})
+    ->Args({0, 32768, 1})
+    ->Args({1, 512, 0})
+    ->Args({1, 512, 1})
+    ->Args({1, 32768, 0})
+    ->Args({1, 32768, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Example: confidential file encryption inside the enclave.
+//
+//   $ ./examples/secure_file_crypto <input-file> [output-file]
+//
+// Plaintext is read via fread ocalls, encrypted with AES-256-CBC *inside*
+// the enclave (keys never leave trusted memory in a real deployment), and
+// the ciphertext is written back via fwrite ocalls — the paper's OpenSSL
+// scenario.  Without an input file, a demo file is generated.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "apps/crypto/file_crypto.hpp"
+#include "core/zc_backend.hpp"
+
+using namespace zc;
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : "";
+  if (input.empty()) {
+    input =
+        (std::filesystem::temp_directory_path() / "zc_demo_plain.bin").string();
+    std::ofstream f(input, std::ios::binary);
+    for (int i = 0; i < 200'000; ++i) {
+      f.put(static_cast<char>(i * 31));
+    }
+    std::cout << "no input given; generated demo file " << input << "\n";
+  }
+  const std::string output =
+      argc > 2 ? argv[2] : input + ".enc";
+  const std::string roundtrip = input + ".dec";
+
+  SimConfig cfg;
+  auto enclave = Enclave::create(cfg);
+  EnclaveLibc libc(*enclave);
+  enclave->set_backend(make_zc_backend(*enclave));  // configless switchless
+
+  // In-enclave key material (toy constants for the demo).
+  std::uint8_t key[32];
+  std::uint8_t iv[16];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  for (int i = 0; i < 16; ++i) iv[i] = static_cast<std::uint8_t>(0xA0 + i);
+
+  const auto enc = enclave->ecall([&] {
+    return app::encrypt_file(libc, input, output, key, iv, 4096);
+  });
+  if (!enc.ok) {
+    std::cerr << "encryption failed (missing input?)\n";
+    return 1;
+  }
+  std::cout << "encrypted " << enc.bytes_in << " bytes -> " << enc.bytes_out
+            << " bytes in " << enc.chunks << " chunks: " << output << "\n";
+
+  const auto dec = enclave->ecall([&] {
+    return app::decrypt_file(libc, output, roundtrip, key, iv, 4096);
+  });
+  if (!dec.ok) {
+    std::cerr << "decryption failed\n";
+    return 1;
+  }
+  std::cout << "decrypted back to " << dec.bytes_out << " bytes: " << roundtrip
+            << "\n";
+
+  const auto& stats = enclave->backend().stats();
+  std::cout << "call paths: switchless=" << stats.switchless_calls.load()
+            << " fallback=" << stats.fallback_calls.load()
+            << " (transitions avoided: " << stats.switchless_calls.load()
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// AES-256 block cipher (FIPS-197), implemented from scratch as the
+// substitute for the paper's SGX port of OpenSSL (§V-B).  Used only as
+// in-enclave compute between file ocalls; correctness is pinned by the
+// FIPS-197 / NIST SP 800-38A known-answer tests in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace zc::app {
+
+class Aes256 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr unsigned kRounds = 14;
+
+  /// Expands the 256-bit key into the round-key schedule.
+  explicit Aes256(const std::uint8_t key[kKeySize]) noexcept;
+
+  /// Encrypts one 16-byte block (in-place safe: out may alias in).
+  /// Dispatches to AES-NI when the CPU supports it (the paper's OpenSSL
+  /// baseline is AES-NI-backed; matching it keeps the file pipeline
+  /// I/O-bound as in §V-B), else to the portable implementation.
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const noexcept;
+
+  /// Decrypts one 16-byte block.
+  void decrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const noexcept;
+
+  /// Portable (software) paths; exposed so tests can cross-check the
+  /// hardware path against them.
+  void encrypt_block_sw(const std::uint8_t in[kBlockSize],
+                        std::uint8_t out[kBlockSize]) const noexcept;
+  void decrypt_block_sw(const std::uint8_t in[kBlockSize],
+                        std::uint8_t out[kBlockSize]) const noexcept;
+
+  /// True when this build/CPU uses the AES-NI path.
+  static bool has_aesni() noexcept;
+
+ private:
+  // Round keys as bytes: (kRounds + 1) * 16. The second schedule holds the
+  // InvMixColumns-transformed keys the AES-NI decrypt path needs (unused
+  // without AES-NI).
+  std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_{};
+  std::array<std::uint8_t, (kRounds + 1) * kBlockSize> dec_keys_{};
+};
+
+}  // namespace zc::app

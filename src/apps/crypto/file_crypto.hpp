@@ -1,0 +1,41 @@
+// Enclave file encryption/decryption pipeline (paper §V-B).
+//
+// One enclave thread reads plaintext chunks via fread ocalls, encrypts them
+// inside the enclave with AES-256-CBC, and writes ciphertext via fwrite
+// ocalls; a second thread reads ciphertext and decrypts in-enclave.  The
+// ocall mix is fread/fwrite (bulk, long duration) plus fopen/fclose (rare),
+// which is exactly the regime where Intel's default rbf makes switchless
+// lose to ZC (Take-away 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sgx/tlibc_stdio.hpp"
+
+namespace zc::app {
+
+struct FileCryptoStats {
+  std::uint64_t bytes_in = 0;   ///< plaintext/ciphertext bytes consumed
+  std::uint64_t bytes_out = 0;  ///< bytes written (0 when discarding)
+  std::uint64_t chunks = 0;     ///< fread ocalls issued
+  bool ok = false;
+};
+
+/// Encrypts `in_path` into `out_path` chunk-by-chunk.
+/// `chunk_bytes` must be a non-zero multiple of 16.
+FileCryptoStats encrypt_file(EnclaveLibc& libc, const std::string& in_path,
+                             const std::string& out_path,
+                             const std::uint8_t key[32],
+                             const std::uint8_t iv[16],
+                             std::size_t chunk_bytes = 4096);
+
+/// Decrypts `in_path`; when `out_path` is empty the plaintext is discarded
+/// in-enclave (the paper's decryptor thread does not write output).
+FileCryptoStats decrypt_file(EnclaveLibc& libc, const std::string& in_path,
+                             const std::string& out_path,
+                             const std::uint8_t key[32],
+                             const std::uint8_t iv[16],
+                             std::size_t chunk_bytes = 4096);
+
+}  // namespace zc::app

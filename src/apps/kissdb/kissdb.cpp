@@ -1,0 +1,231 @@
+#include "apps/kissdb/kissdb.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace zc::app {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'd', 'B', '2'};
+
+struct Header {
+  char magic[4];
+  std::uint32_t pad = 0;
+  std::uint64_t hash_table_size = 0;
+  std::uint64_t key_size = 0;
+  std::uint64_t value_size = 0;
+};
+static_assert(sizeof(Header) == 32);
+
+}  // namespace
+
+std::uint64_t KissDB::hash(const void* bytes, std::size_t len) noexcept {
+  // The original kissdb hash: djb2 variant over the key bytes.
+  const auto* b = static_cast<const unsigned char*>(bytes);
+  std::uint64_t h = 5381;
+  for (std::size_t i = 0; i < len; ++i) {
+    h = ((h << 5) + h) + b[i];
+  }
+  return h;
+}
+
+int KissDB::open(EnclaveLibc& libc, const std::string& path,
+                 const Options& opts) {
+  if (is_open()) return kErrorInvalid;
+  if (opts.hash_table_size == 0 || opts.key_size == 0 || opts.value_size == 0) {
+    return kErrorInvalid;
+  }
+  libc_ = &libc;
+  opts_ = opts;
+  tables_.clear();
+
+  // r+b first (existing db), else create with w+b.
+  file_ = libc.fopen(path.c_str(), "r+b");
+  if (!file_) {
+    file_ = libc.fopen(path.c_str(), "w+b");
+    if (!file_) return kErrorIo;
+    const int rc = write_header();
+    if (rc != kOk) {
+      close();
+      return rc;
+    }
+    return kOk;
+  }
+  int rc = read_header();
+  if (rc == kOk) rc = load_tables();
+  if (rc != kOk) close();
+  return rc;
+}
+
+void KissDB::close() {
+  if (file_) {
+    file_.flush();
+    file_.close();
+  }
+  tables_.clear();
+  libc_ = nullptr;
+}
+
+int KissDB::write_header() {
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.hash_table_size = opts_.hash_table_size;
+  h.key_size = opts_.key_size;
+  h.value_size = opts_.value_size;
+  if (file_.seek(0, SEEK_SET) != 0) return kErrorIo;
+  if (file_.write(&h, sizeof(h)) != sizeof(h)) return kErrorIo;
+  return kOk;
+}
+
+int KissDB::read_header() {
+  Header h{};
+  if (file_.seek(0, SEEK_SET) != 0) return kErrorIo;
+  if (file_.read(&h, sizeof(h)) != sizeof(h)) return kErrorMalformed;
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) return kErrorMalformed;
+  if (h.hash_table_size != opts_.hash_table_size ||
+      h.key_size != opts_.key_size || h.value_size != opts_.value_size) {
+    return kErrorInvalid;
+  }
+  return kOk;
+}
+
+int KissDB::load_tables() {
+  std::uint64_t offset = sizeof(Header);
+  for (;;) {
+    if (file_.seek(static_cast<std::int64_t>(offset), SEEK_SET) != 0) {
+      return kErrorIo;
+    }
+    TablePage page;
+    page.file_offset = offset;
+    page.slots.resize(opts_.hash_table_size + 1);
+    const std::size_t want = page_bytes();
+    const std::size_t got = file_.read(page.slots.data(), want);
+    if (got == 0 && tables_.empty()) return kOk;  // fresh db: no pages yet
+    if (got != want) return kErrorMalformed;
+    const std::uint64_t next = page.slots[opts_.hash_table_size];
+    tables_.push_back(std::move(page));
+    if (next == 0) return kOk;
+    offset = next;
+  }
+}
+
+int KissDB::append_table_with(std::uint64_t slot_index, const void* key,
+                              const void* value) {
+  // New page at EOF; its record follows immediately after the page.
+  if (file_.seek(0, SEEK_END) != 0) return kErrorIo;
+  const std::int64_t end = file_.tell();
+  if (end < 0) return kErrorIo;
+  const auto table_offset = static_cast<std::uint64_t>(end);
+  const std::uint64_t record_offset = table_offset + page_bytes();
+
+  TablePage page;
+  page.file_offset = table_offset;
+  page.slots.assign(opts_.hash_table_size + 1, 0);
+  page.slots[slot_index] = record_offset;
+
+  if (file_.write(page.slots.data(), page_bytes()) != page_bytes()) {
+    return kErrorIo;
+  }
+  if (file_.write(key, opts_.key_size) != opts_.key_size) return kErrorIo;
+  if (file_.write(value, opts_.value_size) != opts_.value_size) {
+    return kErrorIo;
+  }
+
+  if (!tables_.empty()) {
+    // Link the previous page's chain slot to the new page.
+    TablePage& prev = tables_.back();
+    const std::uint64_t link_pos =
+        prev.file_offset + opts_.hash_table_size * sizeof(std::uint64_t);
+    if (file_.seek(static_cast<std::int64_t>(link_pos), SEEK_SET) != 0) {
+      return kErrorIo;
+    }
+    if (file_.write(&table_offset, sizeof(table_offset)) !=
+        sizeof(table_offset)) {
+      return kErrorIo;
+    }
+    prev.slots[opts_.hash_table_size] = table_offset;
+  }
+  tables_.push_back(std::move(page));
+  return kOk;
+}
+
+int KissDB::put(const void* key, const void* value) {
+  if (!is_open()) return kErrorInvalid;
+  const std::uint64_t slot = hash(key, opts_.key_size) % opts_.hash_table_size;
+  std::vector<std::uint8_t> stored(opts_.key_size);
+
+  for (TablePage& page : tables_) {
+    const std::uint64_t offset = page.slots[slot];
+    if (offset == 0) {
+      // Free slot in this page: append the record at EOF and point the
+      // slot at it (on disk and in the cache).
+      if (file_.seek(0, SEEK_END) != 0) return kErrorIo;
+      const std::int64_t end = file_.tell();
+      if (end < 0) return kErrorIo;
+      const auto record_offset = static_cast<std::uint64_t>(end);
+      if (file_.write(key, opts_.key_size) != opts_.key_size) return kErrorIo;
+      if (file_.write(value, opts_.value_size) != opts_.value_size) {
+        return kErrorIo;
+      }
+      const std::uint64_t slot_pos =
+          page.file_offset + slot * sizeof(std::uint64_t);
+      if (file_.seek(static_cast<std::int64_t>(slot_pos), SEEK_SET) != 0) {
+        return kErrorIo;
+      }
+      if (file_.write(&record_offset, sizeof(record_offset)) !=
+          sizeof(record_offset)) {
+        return kErrorIo;
+      }
+      page.slots[slot] = record_offset;
+      return kOk;
+    }
+    // Occupied: compare the stored key (fseeko + fread, the hot ocalls).
+    if (file_.seek(static_cast<std::int64_t>(offset), SEEK_SET) != 0) {
+      return kErrorIo;
+    }
+    if (file_.read(stored.data(), opts_.key_size) != opts_.key_size) {
+      return kErrorMalformed;
+    }
+    if (std::memcmp(stored.data(), key, opts_.key_size) == 0) {
+      // Same key: overwrite the value in place. C stdio requires a file
+      // positioning call between input and output on update streams, and
+      // the original kissdb issues the same fseeko here.
+      if (file_.seek(static_cast<std::int64_t>(offset + opts_.key_size),
+                     SEEK_SET) != 0) {
+        return kErrorIo;
+      }
+      if (file_.write(value, opts_.value_size) != opts_.value_size) {
+        return kErrorIo;
+      }
+      return kOk;
+    }
+  }
+  // Collision in every page: chain a new hash-table page.
+  return append_table_with(slot, key, value);
+}
+
+int KissDB::get(const void* key, void* value_out) {
+  if (!is_open()) return kErrorInvalid;
+  const std::uint64_t slot = hash(key, opts_.key_size) % opts_.hash_table_size;
+  std::vector<std::uint8_t> stored(opts_.key_size);
+
+  for (TablePage& page : tables_) {
+    const std::uint64_t offset = page.slots[slot];
+    if (offset == 0) return kNotFound;
+    if (file_.seek(static_cast<std::int64_t>(offset), SEEK_SET) != 0) {
+      return kErrorIo;
+    }
+    if (file_.read(stored.data(), opts_.key_size) != opts_.key_size) {
+      return kErrorMalformed;
+    }
+    if (std::memcmp(stored.data(), key, opts_.key_size) == 0) {
+      if (file_.read(value_out, opts_.value_size) != opts_.value_size) {
+        return kErrorMalformed;
+      }
+      return kOk;
+    }
+  }
+  return kNotFound;
+}
+
+}  // namespace zc::app

@@ -1,0 +1,88 @@
+// C++ port of kissdb ("keep it simple stupid database") running inside the
+// simulated enclave — the paper's first static macro-benchmark (§V-A).
+//
+// kissdb is a fixed-key/fixed-value on-disk hash table: the file holds a
+// header, then alternating hash-table pages and records.  A hash-table page
+// is (hash_table_size + 1) 64-bit file offsets — slot i points at a record
+// whose key hashes to i, the extra last slot links to the next page.  All
+// file accesses go through the trusted stdio facade, so every database
+// operation issues the fseeko/fread/fwrite ocalls whose mix drives Figs. 8
+// and 9 (fseeko being the most frequent and shortest of the three).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgx/tlibc_stdio.hpp"
+
+namespace zc::app {
+
+class KissDB {
+ public:
+  struct Options {
+    std::uint64_t hash_table_size = 1024;  ///< buckets per page (original default)
+    std::uint64_t key_size = 8;            ///< paper: 8-byte keys
+    std::uint64_t value_size = 8;          ///< paper: 8-byte values
+  };
+
+  /// Return codes, mirroring the original C API.
+  enum : int {
+    kOk = 0,
+    kNotFound = 1,
+    kErrorIo = -1,
+    kErrorMalformed = -2,
+    kErrorInvalid = -3,
+  };
+
+  KissDB() = default;
+  ~KissDB() { close(); }
+  KissDB(const KissDB&) = delete;
+  KissDB& operator=(const KissDB&) = delete;
+
+  /// Opens (creating if necessary) the database at `path`.  Existing files
+  /// must match `opts` exactly.  Returns kOk or an error code.
+  int open(EnclaveLibc& libc, const std::string& path, const Options& opts);
+
+  /// Flushes and closes. Idempotent.
+  void close();
+
+  bool is_open() const noexcept { return static_cast<bool>(file_); }
+
+  /// Inserts or overwrites. `key`/`value` must be key_size/value_size bytes.
+  int put(const void* key, const void* value);
+
+  /// Looks `key` up; on kOk copies value_size bytes into `value_out`.
+  int get(const void* key, void* value_out);
+
+  const Options& options() const noexcept { return opts_; }
+
+  /// Hash-table pages currently chained in the file.
+  std::uint64_t pages() const noexcept { return tables_.size(); }
+
+  /// djb2-style hash used by the original kissdb.
+  static std::uint64_t hash(const void* bytes, std::size_t len) noexcept;
+
+ private:
+  struct TablePage {
+    std::uint64_t file_offset = 0;          ///< where the page lives on disk
+    std::vector<std::uint64_t> slots;       ///< hash_table_size + 1 entries
+  };
+
+  int read_header();
+  int write_header();
+  int load_tables();
+  int append_table_with(std::uint64_t slot_index, const void* key,
+                        const void* value);
+  std::size_t page_bytes() const noexcept {
+    return static_cast<std::size_t>(opts_.hash_table_size + 1) *
+           sizeof(std::uint64_t);
+  }
+
+  EnclaveLibc* libc_ = nullptr;
+  TFile file_;
+  Options opts_;
+  std::vector<TablePage> tables_;
+};
+
+}  // namespace zc::app

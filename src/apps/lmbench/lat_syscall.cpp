@@ -1,0 +1,124 @@
+#include "apps/lmbench/lat_syscall.hpp"
+
+#include <fcntl.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "workload/harness.hpp"
+
+namespace zc::app {
+
+std::uint64_t read_words(EnclaveLibc& libc, int fd, std::uint64_t ops) {
+  std::uint64_t word = 0;
+  std::uint64_t done = 0;
+  for (; done < ops; ++done) {
+    if (libc.read(fd, &word, sizeof(word)) !=
+        static_cast<std::int64_t>(sizeof(word))) {
+      break;
+    }
+  }
+  return done;
+}
+
+std::uint64_t write_words(EnclaveLibc& libc, int fd, std::uint64_t ops) {
+  const std::uint64_t word = 0x5a5a5a5a5a5a5a5aULL;
+  std::uint64_t done = 0;
+  for (; done < ops; ++done) {
+    if (libc.write(fd, &word, sizeof(word)) !=
+        static_cast<std::int64_t>(sizeof(word))) {
+      break;
+    }
+  }
+  return done;
+}
+
+DynamicResult run_dynamic_syscall_bench(EnclaveLibc& libc,
+                                        const workload::PhasedPlan& plan,
+                                        CpuUsageMeter& meter) {
+  using clock = std::chrono::steady_clock;
+  Enclave& enclave = libc.enclave();
+  const std::uint64_t periods = plan.periods();
+  const auto tau =
+      std::chrono::duration<double>(plan.tau_seconds);
+
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::barrier sync(3);
+
+  auto runner = [&](bool is_reader, std::atomic<std::uint64_t>& counter) {
+    workload::SimThreadScope scope(enclave, &meter);
+    const int fd = is_reader ? libc.open("/dev/zero", O_RDONLY)
+                             : libc.open("/dev/null", O_WRONLY);
+    sync.arrive_and_wait();
+    const auto start = clock::now();
+    enclave.ecall([&] {
+      for (std::uint64_t p = 0; p < periods; ++p) {
+        const std::uint64_t target = plan.ops_for_period(p);
+        std::uint64_t done = 0;
+        // Issue in small batches, publishing progress incrementally so the
+        // sampling thread sees a smooth series, and honour the period
+        // deadline even when the target exceeds capacity.
+        const auto deadline = start + (p + 1) * tau;
+        while (done < target && clock::now() < deadline) {
+          const std::uint64_t batch = std::min<std::uint64_t>(
+              256, target - done);
+          const std::uint64_t completed =
+              is_reader ? read_words(libc, fd, batch)
+                        : write_words(libc, fd, batch);
+          done += completed;
+          counter.fetch_add(completed, std::memory_order_relaxed);
+          scope.checkpoint();
+        }
+        std::this_thread::sleep_until(deadline);
+      }
+      return 0;
+    });
+    libc.close(fd);
+    sync.arrive_and_wait();
+  };
+
+  std::jthread reader([&] { runner(true, reads); });
+  std::jthread writer([&] { runner(false, writes); });
+
+  DynamicResult result;
+  meter.begin_window();
+  sync.arrive_and_wait();  // start line
+  const auto start = clock::now();
+
+  std::uint64_t prev_reads = 0;
+  std::uint64_t prev_writes = 0;
+  std::uint64_t prev_cpu_ns = 0;
+  for (std::uint64_t p = 0; p < periods; ++p) {
+    std::this_thread::sleep_until(start + (p + 1) * tau);
+    const std::uint64_t r = reads.load(std::memory_order_relaxed);
+    const std::uint64_t w = writes.load(std::memory_order_relaxed);
+    const std::uint64_t cpu_ns = meter.window_cpu_ns();
+
+    PeriodSample s;
+    s.t_seconds = (p + 1) * plan.tau_seconds;
+    s.read_kops = static_cast<double>(r - prev_reads) / plan.tau_seconds / 1e3;
+    s.write_kops =
+        static_cast<double>(w - prev_writes) / plan.tau_seconds / 1e3;
+    s.cpu_percent = 100.0 * static_cast<double>(cpu_ns - prev_cpu_ns) /
+                    (plan.tau_seconds * 1e9 *
+                     static_cast<double>(meter.logical_cpus()));
+    s.workers = enclave.backend().active_workers();
+    result.samples.push_back(s);
+
+    prev_reads = r;
+    prev_writes = w;
+    prev_cpu_ns = cpu_ns;
+  }
+
+  sync.arrive_and_wait();  // finish line
+  reader.join();
+  writer.join();
+  result.total_reads = reads.load();
+  result.total_writes = writes.load();
+  return result;
+}
+
+}  // namespace zc::app

@@ -1,0 +1,49 @@
+// lmbench-style syscall microbenchmarks and the dynamic workload driver
+// (paper §V-C).
+//
+// The read benchmark reads one word from /dev/zero, the write benchmark
+// writes one word to /dev/null — each op is one ocall.  The dynamic driver
+// runs one reader and one writer enclave thread against a PhasedPlan
+// (increase / steady / decrease) and samples per-period throughput, CPU
+// usage and the ZC scheduler's worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cpu_meter.hpp"
+#include "sgx/tlibc_stdio.hpp"
+#include "workload/phased.hpp"
+
+namespace zc::app {
+
+/// Issues `ops` one-word reads from `fd` (e.g. /dev/zero). Returns ops
+/// actually completed (a short read stops the loop).
+std::uint64_t read_words(EnclaveLibc& libc, int fd, std::uint64_t ops);
+
+/// Issues `ops` one-word writes to `fd` (e.g. /dev/null).
+std::uint64_t write_words(EnclaveLibc& libc, int fd, std::uint64_t ops);
+
+/// One sample per τ period of the dynamic run.
+struct PeriodSample {
+  double t_seconds = 0;       ///< period end, relative to run start
+  double read_kops = 0;       ///< reader throughput in KOPs/s
+  double write_kops = 0;      ///< writer throughput in KOPs/s
+  double cpu_percent = 0;     ///< simulated-machine CPU usage this period
+  unsigned workers = 0;       ///< backend's active workers at sample time
+};
+
+struct DynamicResult {
+  std::vector<PeriodSample> samples;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+};
+
+/// Runs the 3-phase dynamic benchmark against the enclave's installed
+/// backend.  `meter` must be the meter wired into the backend so worker
+/// CPU time is included.
+DynamicResult run_dynamic_syscall_bench(EnclaveLibc& libc,
+                                        const workload::PhasedPlan& plan,
+                                        CpuUsageMeter& meter);
+
+}  // namespace zc::app

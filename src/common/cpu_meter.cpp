@@ -1,0 +1,113 @@
+#include "common/cpu_meter.hpp"
+
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace zc {
+
+ProcStatTimes ProcStatSampler::sample() {
+  std::ifstream in("/proc/stat");
+  std::string line;
+  if (!in || !std::getline(in, line)) {
+    throw std::runtime_error("cannot read /proc/stat");
+  }
+  return parse_cpu_line(line);
+}
+
+ProcStatTimes ProcStatSampler::parse_cpu_line(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  ProcStatTimes t;
+  is >> tag >> t.user >> t.nice >> t.system >> t.idle;
+  if (tag.rfind("cpu", 0) != 0 || !is) {
+    throw std::runtime_error("malformed /proc/stat cpu line: " + line);
+  }
+  return t;
+}
+
+double ProcStatSampler::usage_percent(const ProcStatTimes& before,
+                                      const ProcStatTimes& after) noexcept {
+  const std::uint64_t busy = after.busy() - before.busy();
+  const std::uint64_t total = after.total() - before.total();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(busy) / static_cast<double>(total);
+}
+
+namespace {
+std::uint64_t clock_ns(clockid_t id) noexcept {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+std::uint64_t thread_cpu_ns() noexcept {
+  return clock_ns(CLOCK_THREAD_CPUTIME_ID);
+}
+
+std::uint64_t process_cpu_ns() noexcept {
+  return clock_ns(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+std::uint64_t wall_ns() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+
+CpuUsageMeter::CpuUsageMeter(unsigned logical_cpus)
+    : logical_cpus_(logical_cpus == 0 ? 1 : logical_cpus) {}
+
+std::size_t CpuUsageMeter::register_current_thread() {
+  const std::uint64_t now = thread_cpu_ns();
+  std::lock_guard lock(mu_);
+  slots_.push_back(Slot{now});
+  // A freshly registered thread starts with zero *window* contribution:
+  // raise the base by its pre-existing CPU time.
+  window_base_ns_ += now;
+  return slots_.size() - 1;
+}
+
+void CpuUsageMeter::checkpoint(std::size_t slot) noexcept {
+  const std::uint64_t now = thread_cpu_ns();
+  std::lock_guard lock(mu_);
+  if (slot < slots_.size()) slots_[slot].published_ns = now;
+}
+
+void CpuUsageMeter::unregister_current_thread(std::size_t slot) noexcept {
+  checkpoint(slot);
+}
+
+void CpuUsageMeter::begin_window() {
+  std::lock_guard lock(mu_);
+  window_base_ns_ = sum_published_locked();
+  window_start_wall_ns_ = wall_ns();
+}
+
+std::uint64_t CpuUsageMeter::sum_published_locked() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Slot& s : slots_) sum += s.published_ns;
+  return sum;
+}
+
+std::uint64_t CpuUsageMeter::window_cpu_ns() const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t sum = sum_published_locked();
+  return sum >= window_base_ns_ ? sum - window_base_ns_ : 0;
+}
+
+double CpuUsageMeter::window_usage_percent() const {
+  std::uint64_t cpu = 0;
+  std::uint64_t start = 0;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t sum = sum_published_locked();
+    cpu = sum >= window_base_ns_ ? sum - window_base_ns_ : 0;
+    start = window_start_wall_ns_;
+  }
+  const std::uint64_t wall = wall_ns() - start;
+  if (wall == 0) return 0.0;
+  return 100.0 * static_cast<double>(cpu) /
+         (static_cast<double>(wall) * static_cast<double>(logical_cpus_));
+}
+
+}  // namespace zc

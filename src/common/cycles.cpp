@@ -1,0 +1,101 @@
+#include "common/cycles.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define ZC_HAVE_X86 1
+#endif
+
+namespace zc {
+namespace {
+
+std::uint64_t calibrate_tsc_hz() {
+  using clock = std::chrono::steady_clock;
+  // Two short windows; keep the faster estimate to reduce the impact of
+  // preemption during calibration.
+  std::uint64_t best = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = rdtsc();
+    // ~5 ms window: long enough for <0.1% error, short enough for startup.
+    while (clock::now() - t0 < std::chrono::milliseconds(5)) {
+      cpu_pause();
+    }
+    const std::uint64_t c1 = rdtsc();
+    const auto dt = std::chrono::duration<double>(clock::now() - t0).count();
+    const auto hz = static_cast<std::uint64_t>(static_cast<double>(c1 - c0) / dt);
+    best = std::max(best, hz);
+  }
+  return best == 0 ? 3'000'000'000ULL : best;
+}
+
+}  // namespace
+
+std::uint64_t rdtsc() noexcept {
+#ifdef ZC_HAVE_X86
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+void cpu_pause() noexcept {
+#ifdef ZC_HAVE_X86
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+std::uint64_t tsc_hz() noexcept {
+  static const std::uint64_t hz = calibrate_tsc_hz();
+  return hz;
+}
+
+double cycles_to_ns(std::uint64_t cycles) noexcept {
+  return static_cast<double>(cycles) * 1e9 / static_cast<double>(tsc_hz());
+}
+
+std::uint64_t ns_to_cycles(double ns) noexcept {
+  if (ns <= 0) return 0;
+  return static_cast<std::uint64_t>(ns * static_cast<double>(tsc_hz()) / 1e9);
+}
+
+void burn_cycles(std::uint64_t cycles) noexcept {
+  if (cycles == 0) return;
+  const std::uint64_t start = rdtsc();
+  while (rdtsc() - start < cycles) {
+    cpu_pause();
+  }
+}
+
+void pause_n(std::uint64_t n) noexcept {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cpu_pause();
+  }
+}
+
+std::uint64_t measured_pause_cycles() noexcept {
+  static const std::uint64_t cost = [] {
+    constexpr int kReps = 5;
+    constexpr std::uint64_t kIters = 20'000;
+    std::array<std::uint64_t, kReps> samples{};
+    for (auto& s : samples) {
+      const std::uint64_t c0 = rdtsc();
+      pause_n(kIters);
+      s = (rdtsc() - c0) / kIters;
+    }
+    std::sort(samples.begin(), samples.end());
+    return std::max<std::uint64_t>(1, samples[kReps / 2]);
+  }();
+  return cost;
+}
+
+}  // namespace zc

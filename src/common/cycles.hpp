@@ -1,0 +1,47 @@
+// Cycle-level timing primitives used by the simulated SGX substrate.
+//
+// The whole reproduction hinges on being able to (a) read a fast, monotonic
+// cycle counter, (b) burn a precise number of cycles to stand in for an
+// enclave transition, and (c) execute the x86 `pause` instruction the way the
+// Intel SDK busy-wait loops do.  Everything here is wait-free and safe to
+// call from any thread.
+#pragma once
+
+#include <cstdint>
+
+namespace zc {
+
+/// Reads the time-stamp counter (serialised with `rdtscp` where available).
+/// Monotonic per-core; we calibrate it against `steady_clock` at startup.
+std::uint64_t rdtsc() noexcept;
+
+/// Executes one x86 `pause` (spin-loop hint).  This is the exact instruction
+/// the Intel SDK uses between switchless-call retries; the paper charges it
+/// at up to 140 cycles on Skylake-class parts.
+void cpu_pause() noexcept;
+
+/// Measured TSC frequency in Hz.  Calibrated once (thread-safe) on first use
+/// against std::chrono::steady_clock over a few milliseconds.
+std::uint64_t tsc_hz() noexcept;
+
+/// Converts cycles to nanoseconds using the calibrated TSC frequency.
+double cycles_to_ns(std::uint64_t cycles) noexcept;
+
+/// Converts a duration in nanoseconds to TSC cycles.
+std::uint64_t ns_to_cycles(double ns) noexcept;
+
+/// Busy-spins until at least `cycles` TSC cycles have elapsed.  Used to
+/// model the cost of EENTER/EEXIT and of synthetic in-call work.  The loop
+/// issues `pause` so a burning thread behaves like a real busy-waiter with
+/// respect to its hyper-twin.
+void burn_cycles(std::uint64_t cycles) noexcept;
+
+/// Executes exactly `n` `pause` instructions (the paper's unit for the
+/// duration of the synthetic `g` function).
+void pause_n(std::uint64_t n) noexcept;
+
+/// Measured cost of a single `pause` in cycles (median of a short
+/// calibration run; memoised).  The paper quotes ~140 cycles on Skylake.
+std::uint64_t measured_pause_cycles() noexcept;
+
+}  // namespace zc

@@ -1,0 +1,39 @@
+#include "common/pool.hpp"
+
+#include <stdexcept>
+
+namespace zc {
+
+BumpPool::BumpPool(std::size_t capacity)
+    : capacity_(capacity), buffer_(std::make_unique<std::byte[]>(capacity)) {
+  if (capacity == 0) throw std::invalid_argument("BumpPool capacity == 0");
+}
+
+void* BumpPool::allocate(std::size_t size, std::size_t align) noexcept {
+  if (size == 0 || align == 0 || (align & (align - 1)) != 0) {
+    ++failures_;
+    return nullptr;
+  }
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(buffer_.get());
+  const std::uintptr_t cur = base + offset_;
+  const std::uintptr_t aligned = (cur + align - 1) & ~(align - 1);
+  const std::size_t new_offset = (aligned - base) + size;
+  if (new_offset > capacity_) {
+    ++failures_;
+    return nullptr;
+  }
+  offset_ = new_offset;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void BumpPool::reset() noexcept {
+  offset_ = 0;
+  ++resets_;
+}
+
+bool BumpPool::owns(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= buffer_.get() && b < buffer_.get() + capacity_;
+}
+
+}  // namespace zc

@@ -1,0 +1,54 @@
+// Fixed-capacity bump allocator backing ZC worker buffers.
+//
+// §IV-B: "an untrusted memory pool (preallocated) used by callers to
+// allocate switchless requests ... memory pools of worker buffers are freed
+// and re-allocated when full via an ocall."  The pool is single-owner at any
+// point in time (a worker buffer is RESERVED by exactly one caller), so no
+// internal locking is needed; exhaustion is reported to the caller, which
+// triggers the reset-via-ocall path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace zc {
+
+class BumpPool {
+ public:
+  /// Creates a pool of `capacity` bytes. Capacity must be non-zero.
+  explicit BumpPool(std::size_t capacity);
+
+  BumpPool(const BumpPool&) = delete;
+  BumpPool& operator=(const BumpPool&) = delete;
+
+  /// Allocates `size` bytes aligned to `align` (power of two).
+  /// Returns nullptr when the pool cannot satisfy the request.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) noexcept;
+
+  /// Drops all allocations. Models the "free and re-allocate via ocall"
+  /// event; the caller is responsible for charging the ocall.
+  void reset() noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return capacity_ - offset_; }
+
+  /// Number of times reset() has been called (pool "reallocations").
+  std::uint64_t reset_count() const noexcept { return resets_; }
+
+  /// Number of failed allocations since construction.
+  std::uint64_t failed_allocs() const noexcept { return failures_; }
+
+  /// True if `p` points inside this pool's buffer.
+  bool owns(const void* p) const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t offset_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace zc

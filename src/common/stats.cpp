@@ -1,0 +1,28 @@
+#include "common/stats.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace zc {
+
+double SampleSeries::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty series");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  if (p == 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+double SampleSeries::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSeries::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+}  // namespace zc

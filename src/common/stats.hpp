@@ -1,0 +1,84 @@
+// Lightweight statistics used across the call backends and the benches.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace zc {
+
+/// Cache-line padded monotonically increasing counter (avoids false sharing
+/// between caller/worker/scheduler threads).
+struct alignas(64) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+
+  void add(std::uint64_t n = 1) noexcept {
+    value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const noexcept {
+    return value.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) noexcept {
+    value.store(v, std::memory_order_relaxed);
+  }
+};
+
+/// Welford online mean/variance with min/max. Single-writer.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+
+  void reset() noexcept { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of samples with percentile queries; used for latency series.
+class SampleSeries {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// p in [0,100]; nearest-rank on a sorted copy.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double sum() const;
+
+  const std::vector<double>& raw() const noexcept { return samples_; }
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace zc

@@ -1,0 +1,163 @@
+#include "core/worker.hpp"
+
+#include "common/cycles.hpp"
+#include "common/pin.hpp"
+#include "sgx/marshal.hpp"
+
+namespace zc {
+
+const char* to_string(WorkerState s) noexcept {
+  switch (s) {
+    case WorkerState::kUnused:
+      return "UNUSED";
+    case WorkerState::kReserved:
+      return "RESERVED";
+    case WorkerState::kProcessing:
+      return "PROCESSING";
+    case WorkerState::kWaiting:
+      return "WAITING";
+    case WorkerState::kPaused:
+      return "PAUSED";
+    case WorkerState::kExit:
+      return "EXIT";
+  }
+  return "?";
+}
+
+ZcWorker::ZcWorker(Enclave& enclave, const ZcConfig& cfg, BackendStats& stats,
+                   unsigned index)
+    : enclave_(enclave),
+      cfg_(cfg),
+      stats_(stats),
+      index_(index),
+      pool_(cfg.worker_pool_bytes) {}
+
+ZcWorker::~ZcWorker() { shutdown(); }
+
+void ZcWorker::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::jthread([this] { main(); });
+}
+
+void ZcWorker::shutdown() {
+  if (!thread_.joinable()) return;
+  command(SchedCmd::kExit);
+  thread_.join();
+}
+
+bool ZcWorker::try_reserve() noexcept {
+  WorkerState expected = WorkerState::kUnused;
+  return status_.compare_exchange_strong(expected, WorkerState::kReserved,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+}
+
+void* ZcWorker::alloc_frame(std::size_t bytes) {
+  void* mem = pool_.allocate(bytes, 64);
+  if (mem == nullptr) {
+    // Pool exhausted: free and re-allocate via an ocall (§IV-B). The
+    // caller pays one full enclave transition; this is the source of the
+    // latency spikes the paper observes in Fig. 8.
+    enclave_.transitions().eexit();
+    pool_.reset();
+    enclave_.transitions().eenter();
+    stats_.pool_resets.add();
+    mem = pool_.allocate(bytes, 64);
+  }
+  return mem;
+}
+
+void ZcWorker::submit(void* frame) noexcept {
+  request_ = frame;
+  status_.store(WorkerState::kProcessing, std::memory_order_release);
+}
+
+void ZcWorker::wait_done() noexcept {
+  while (status_.load(std::memory_order_acquire) != WorkerState::kWaiting) {
+    cpu_pause();
+  }
+}
+
+void ZcWorker::release() noexcept {
+  status_.store(WorkerState::kUnused, std::memory_order_release);
+}
+
+void ZcWorker::cancel_reservation() noexcept {
+  status_.store(WorkerState::kUnused, std::memory_order_release);
+}
+
+void ZcWorker::command(SchedCmd cmd) noexcept {
+  cmd_.store(cmd, std::memory_order_release);
+  // Publish under the mutex so a worker between predicate check and wait
+  // cannot miss the notification.
+  {
+    std::lock_guard lock(mu_);
+  }
+  cv_.notify_one();
+}
+
+void ZcWorker::main() {
+  const SimConfig& sim = enclave_.config();
+  if (sim.pin_threads) {
+    pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+  }
+  std::size_t meter_slot = 0;
+  if (cfg_.meter != nullptr) {
+    meter_slot = cfg_.meter->register_current_thread();
+  }
+
+  std::uint64_t iterations = 0;
+  for (;;) {
+    const WorkerState s = status_.load(std::memory_order_acquire);
+
+    if (s == WorkerState::kProcessing) {
+      // Execute the published request without any enclave transition.
+      auto* header = static_cast<FrameHeader*>(request_);
+      MarshalledCall call = frame_view(request_);
+      const OcallTable& table = cfg_.direction == CallDirection::kOcall
+                                    ? enclave_.ocalls()
+                                    : enclave_.ecalls();
+      table.dispatch(header->fn_id, call);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      status_.store(WorkerState::kWaiting, std::memory_order_release);
+      continue;
+    }
+
+    if (s == WorkerState::kUnused) {
+      const SchedCmd cmd = cmd_.load(std::memory_order_acquire);
+      if (cmd == SchedCmd::kExit) {
+        // Final cleanup (paper: workers free memory, then terminate).
+        pool_.reset();
+        status_.store(WorkerState::kExit, std::memory_order_release);
+        break;
+      }
+      if (cmd == SchedCmd::kPause) {
+        WorkerState expected = WorkerState::kUnused;
+        if (status_.compare_exchange_strong(expected, WorkerState::kPaused,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+          stats_.worker_sleeps.add();
+          if (cfg_.meter != nullptr) cfg_.meter->checkpoint(meter_slot);
+          std::unique_lock lock(mu_);
+          cv_.wait(lock, [this] {
+            return cmd_.load(std::memory_order_acquire) != SchedCmd::kPause;
+          });
+          status_.store(WorkerState::kUnused, std::memory_order_release);
+          stats_.worker_wakeups.add();
+        }
+        continue;
+      }
+    }
+
+    // Busy-wait for work: this (or the caller's completion spin) is the
+    // "exactly one thread busy-waiting per active worker" of §IV-A.
+    cpu_pause();
+    if (cfg_.meter != nullptr && (++iterations & 0x3FFF) == 0) {
+      cfg_.meter->checkpoint(meter_slot);
+    }
+  }
+
+  if (cfg_.meter != nullptr) cfg_.meter->unregister_current_thread(meter_slot);
+}
+
+}  // namespace zc

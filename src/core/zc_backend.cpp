@@ -1,0 +1,99 @@
+#include "core/zc_backend.hpp"
+
+namespace zc {
+
+ZcBackend::ZcBackend(Enclave& enclave, ZcConfig cfg)
+    : enclave_(enclave), cfg_(std::move(cfg)) {
+  const unsigned max =
+      cfg_.resolved_max_workers(enclave_.config().logical_cpus);
+  workers_.reserve(max);
+  for (unsigned i = 0; i < max; ++i) {
+    workers_.push_back(
+        std::make_unique<ZcWorker>(enclave_, cfg_, stats_, i));
+  }
+  scheduler_ = std::make_unique<ZcScheduler>(enclave_, cfg_, workers_, stats_,
+                                             active_count_);
+}
+
+ZcBackend::~ZcBackend() { stop(); }
+
+void ZcBackend::start() {
+  if (running_.exchange(true)) return;
+  for (auto& w : workers_) w->start();
+  scheduler_->set_active(
+      cfg_.resolved_initial_workers(enclave_.config().logical_cpus));
+  if (cfg_.scheduler_enabled) scheduler_->start();
+}
+
+void ZcBackend::stop() {
+  if (!running_.exchange(false)) return;
+  scheduler_->stop();
+  // Program termination (§IV-B): the scheduler sets a value in the workers'
+  // buffers; workers clean up and switch to EXIT.
+  for (auto& w : workers_) w->shutdown();
+  active_count_.store(0, std::memory_order_release);
+}
+
+void ZcBackend::set_active_workers(unsigned m) { scheduler_->set_active(m); }
+
+std::vector<std::uint64_t> ZcBackend::per_worker_served() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) out.push_back(w->calls_served());
+  return out;
+}
+
+void ZcBackend::execute_regular(const CallDesc& desc) {
+  if (cfg_.direction == CallDirection::kOcall) {
+    execute_regular_ocall(enclave_, desc);
+  } else {
+    execute_regular_ecall(enclave_, desc);
+  }
+}
+
+CallPath ZcBackend::fallback(const CallDesc& desc) {
+  execute_regular(desc);
+  stats_.fallback_calls.add();
+  return CallPath::kFallback;
+}
+
+CallPath ZcBackend::invoke(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular(desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+
+  // Switchless-call selection (§IV-C): run switchlessly iff an idle worker
+  // exists right now; otherwise fall back immediately.
+  const unsigned m = active_count_.load(std::memory_order_acquire);
+  ZcWorker* worker = nullptr;
+  for (unsigned i = 0; i < m && i < workers_.size(); ++i) {
+    if (workers_[i]->try_reserve()) {
+      worker = workers_[i].get();
+      break;
+    }
+  }
+  if (worker == nullptr) return fallback(desc);
+
+  void* mem = worker->alloc_frame(frame_bytes(desc));
+  if (mem == nullptr) {
+    // Request larger than the whole pool: cannot go switchless.
+    worker->cancel_reservation();
+    return fallback(desc);
+  }
+
+  MarshalledCall call = marshal_into(mem, desc);
+  worker->submit(mem);
+  worker->wait_done();
+  unmarshal_from(call, desc);
+  worker->release();
+  stats_.switchless_calls.add();
+  return CallPath::kSwitchless;
+}
+
+std::unique_ptr<ZcBackend> make_zc_backend(Enclave& enclave, ZcConfig cfg) {
+  return std::make_unique<ZcBackend>(enclave, std::move(cfg));
+}
+
+}  // namespace zc

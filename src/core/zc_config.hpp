@@ -1,0 +1,68 @@
+// Configuration of ZC-Switchless (paper §IV).
+//
+// Note what is *not* here: no list of switchless routines (every ocall is a
+// candidate, §IV-C) and no fixed worker count (the scheduler adapts it at
+// run time, §IV-A).  The constants below are the paper's own empirical
+// choices, kept as knobs only for the ablation benches.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/cpu_meter.hpp"
+#include "sgx/backend.hpp"
+
+namespace zc {
+
+struct ZcConfig {
+  /// Scheduler quantum Q ("set empirically to 10 ms").
+  std::chrono::microseconds quantum{10'000};
+
+  /// Micro-quantum factor µ ("we empirically set µ = 1/100"): each probe of
+  /// the configuration phase lasts µ·Q.
+  double mu = 0.01;
+
+  /// Upper bound on worker threads. 0 means logical_cpus / 2, the paper's
+  /// probe range (the scheduler explores 0..N/2 inclusive).
+  unsigned max_workers = 0;
+
+  /// Workers active before the first configuration phase. The paper's
+  /// benchmarks start at logical_cpus / 2 (0 keeps that default).
+  unsigned initial_workers_plus_one = 0;  ///< 0 = default, else value-1
+
+  /// Per-worker preallocated untrusted request pool (§IV-B). Small enough
+  /// that realistic workloads occasionally exhaust it and pay the
+  /// reset-via-ocall (the latency spikes discussed under Fig. 8).
+  std::size_t worker_pool_bytes = std::size_t{1} << 20;
+
+  /// Disable the feedback scheduler and keep `initial workers` forever
+  /// (ablation: isolates the call path from the adaptation policy).
+  bool scheduler_enabled = true;
+
+  /// Optional CPU accounting for worker + scheduler threads.
+  CpuUsageMeter* meter = nullptr;
+
+  /// Boundary direction: untrusted workers serving ocalls (default) or
+  /// trusted workers serving ecalls.
+  CallDirection direction = CallDirection::kOcall;
+
+  unsigned resolved_max_workers(unsigned logical_cpus) const noexcept {
+    return max_workers != 0 ? max_workers
+                            : (logical_cpus / 2 == 0 ? 1 : logical_cpus / 2);
+  }
+
+  unsigned resolved_initial_workers(unsigned logical_cpus) const noexcept {
+    const unsigned max = resolved_max_workers(logical_cpus);
+    if (initial_workers_plus_one == 0) return max;
+    const unsigned w = initial_workers_plus_one - 1;
+    return w > max ? max : w;
+  }
+
+  /// Sets an explicit initial worker count (0 is a valid choice).
+  ZcConfig& with_initial_workers(unsigned w) noexcept {
+    initial_workers_plus_one = w + 1;
+    return *this;
+  }
+};
+
+}  // namespace zc

@@ -1,0 +1,115 @@
+#include "hotcalls/hotcalls.hpp"
+
+#include "common/cycles.hpp"
+#include "common/pin.hpp"
+
+namespace zc::hotcalls {
+
+HotCallsBackend::HotCallsBackend(Enclave& enclave, HotCallsConfig cfg)
+    : enclave_(enclave),
+      cfg_(std::move(cfg)),
+      slots_(cfg_.num_workers == 0 ? 1 : cfg_.num_workers) {
+  for (auto& slot : slots_) {
+    slot.frame = std::make_unique<std::byte[]>(cfg_.slot_frame_bytes);
+    slot.frame_capacity = cfg_.slot_frame_bytes;
+  }
+}
+
+HotCallsBackend::~HotCallsBackend() { stop(); }
+
+void HotCallsBackend::start() {
+  if (cfg_.num_workers == 0) return;
+  if (running_.exchange(true)) return;
+  responders_.reserve(cfg_.num_workers);
+  for (unsigned i = 0; i < cfg_.num_workers; ++i) {
+    responders_.emplace_back([this, i] { responder_main(i); });
+  }
+  while (started_.load(std::memory_order_acquire) < cfg_.num_workers) {
+    std::this_thread::yield();
+  }
+}
+
+void HotCallsBackend::stop() {
+  if (!running_.exchange(false)) return;
+  responders_.clear();  // jthread joins; responders exit on !running_
+  started_.store(0, std::memory_order_release);
+}
+
+CallPath HotCallsBackend::invoke(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular_ocall(enclave_, desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+  if (frame_bytes(desc) > slots_.front().frame_capacity) {
+    execute_regular_ocall(enclave_, desc);
+    stats_.fallback_calls.add();
+    return CallPath::kFallback;
+  }
+
+  // Spin-acquire any slot (HotCalls never falls back on contention; the
+  // caller keeps spinning — part of the design's CPU bill).
+  Slot* slot = nullptr;
+  for (;;) {
+    for (auto& s : slots_) {
+      bool expected = false;
+      if (s.locked.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot != nullptr) break;
+    cpu_pause();
+  }
+
+  MarshalledCall call = marshal_into(slot->frame.get(), desc);
+  slot->done.store(false, std::memory_order_relaxed);
+  slot->go.store(true, std::memory_order_release);
+
+  while (!slot->done.load(std::memory_order_acquire)) {
+    cpu_pause();
+  }
+  unmarshal_from(call, desc);
+  slot->locked.store(false, std::memory_order_release);
+  stats_.switchless_calls.add();
+  return CallPath::kSwitchless;
+}
+
+void HotCallsBackend::responder_main(unsigned index) {
+  const SimConfig& sim = enclave_.config();
+  if (sim.pin_threads) {
+    pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+  }
+  std::size_t meter_slot = 0;
+  if (cfg_.meter != nullptr) {
+    meter_slot = cfg_.meter->register_current_thread();
+  }
+  started_.fetch_add(1, std::memory_order_release);
+
+  Slot& slot = slots_[index];
+  std::uint64_t iterations = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    if (slot.go.load(std::memory_order_acquire)) {
+      auto* header = reinterpret_cast<FrameHeader*>(slot.frame.get());
+      MarshalledCall call = frame_view(slot.frame.get());
+      enclave_.ocalls().dispatch(header->fn_id, call);
+      slot.go.store(false, std::memory_order_relaxed);
+      slot.done.store(true, std::memory_order_release);
+    } else {
+      cpu_pause();  // always hot: never sleeps (unlike the SDK's rbs)
+    }
+    if (cfg_.meter != nullptr && (++iterations & 0x3FFF) == 0) {
+      cfg_.meter->checkpoint(meter_slot);
+    }
+  }
+  if (cfg_.meter != nullptr) cfg_.meter->unregister_current_thread(meter_slot);
+}
+
+std::unique_ptr<HotCallsBackend> make_hotcalls_backend(Enclave& enclave,
+                                                       HotCallsConfig cfg) {
+  return std::make_unique<HotCallsBackend>(enclave, cfg);
+}
+
+}  // namespace zc::hotcalls

@@ -1,0 +1,66 @@
+// HotCalls baseline (Weisse, Bertacco, Austin — ISCA'17), the third
+// switchless design the paper positions ZC against (§VI: "previous work
+// circumvents expensive SGX context switches by leveraging threads in and
+// out of the enclave which communicate via shared memory").
+//
+// HotCalls dedicates always-hot responder threads, one per call slot: the
+// caller spin-acquires a slot, publishes the request, and both sides
+// busy-wait across the hand-off.  There is no fallback and no sleeping —
+// maximal speedup, maximal CPU waste; exactly the trade-off ZC's scheduler
+// is designed to avoid.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cpu_meter.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc::hotcalls {
+
+struct HotCallsConfig {
+  unsigned num_workers = 2;             ///< responder threads (always hot)
+  std::size_t slot_frame_bytes = 512 * 1024;
+  CpuUsageMeter* meter = nullptr;
+};
+
+class HotCallsBackend final : public CallBackend {
+ public:
+  HotCallsBackend(Enclave& enclave, HotCallsConfig cfg);
+  ~HotCallsBackend() override;
+
+  void start() override;
+  void stop() override;
+  CallPath invoke(const CallDesc& desc) override;
+  const char* name() const noexcept override { return "hotcalls"; }
+
+  unsigned active_workers() const noexcept override {
+    return running_.load(std::memory_order_relaxed) ? cfg_.num_workers : 0;
+  }
+
+ private:
+  // One shared "hot call" cell per responder thread.
+  struct alignas(64) Slot {
+    std::atomic<bool> locked{false};  ///< caller ownership (spin lock)
+    std::atomic<bool> go{false};      ///< request published
+    std::atomic<bool> done{false};    ///< response ready
+    std::unique_ptr<std::byte[]> frame;
+    std::size_t frame_capacity = 0;
+  };
+
+  void responder_main(unsigned index);
+
+  Enclave& enclave_;
+  HotCallsConfig cfg_;
+  std::vector<Slot> slots_;
+  std::atomic<bool> running_{false};
+  std::atomic<unsigned> started_{0};
+  std::vector<std::jthread> responders_;
+};
+
+std::unique_ptr<HotCallsBackend> make_hotcalls_backend(
+    Enclave& enclave, HotCallsConfig cfg = {});
+
+}  // namespace zc::hotcalls

@@ -1,0 +1,165 @@
+#include "intel_sl/intel_backend.hpp"
+
+#include "common/cycles.hpp"
+#include "common/pin.hpp"
+
+namespace zc::intel {
+
+IntelSwitchlessBackend::IntelSwitchlessBackend(Enclave& enclave,
+                                               IntelSlConfig cfg)
+    : enclave_(enclave),
+      cfg_(std::move(cfg)),
+      pool_(cfg_.task_pool_slots, cfg_.slot_frame_bytes) {}
+
+IntelSwitchlessBackend::~IntelSwitchlessBackend() { stop(); }
+
+void IntelSwitchlessBackend::start() {
+  if (running_.exchange(true)) return;
+  workers_.reserve(cfg_.num_workers);
+  for (unsigned i = 0; i < cfg_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+  // The SDK spawns its workers when the switchless system initialises;
+  // don't let the first switchless call race worker startup and fall back
+  // spuriously.
+  while (started_.load(std::memory_order_acquire) < cfg_.num_workers) {
+    std::this_thread::yield();
+  }
+}
+
+void IntelSwitchlessBackend::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  workers_.clear();  // jthread joins
+  started_.store(0, std::memory_order_release);
+}
+
+void IntelSwitchlessBackend::wake_one_worker() {
+  if (sleeping_.load(std::memory_order_acquire) > 0) {
+    sleep_cv_.notify_one();
+    stats_.worker_wakeups.add();
+  }
+}
+
+CallPath IntelSwitchlessBackend::regular_path(const CallDesc& desc,
+                                              bool is_fallback) {
+  if (cfg_.direction == CallDirection::kOcall) {
+    execute_regular_ocall(enclave_, desc);
+  } else {
+    execute_regular_ecall(enclave_, desc);
+  }
+  if (is_fallback) {
+    stats_.fallback_calls.add();
+    return CallPath::kFallback;
+  }
+  stats_.regular_calls.add();
+  return CallPath::kRegular;
+}
+
+CallPath IntelSwitchlessBackend::invoke(const CallDesc& desc) {
+  // Static build-time selection: only configured ids may go switchless.
+  if (!running_.load(std::memory_order_relaxed) || cfg_.num_workers == 0 ||
+      !cfg_.switchless_fns.contains(desc.fn_id)) {
+    return regular_path(desc, /*is_fallback=*/false);
+  }
+
+  TaskSlot* slot = pool_.claim();
+  if (slot == nullptr) {
+    // Pool full: the SDK falls back without waiting.
+    return regular_path(desc, /*is_fallback=*/true);
+  }
+  if (frame_bytes(desc) > slot->frame_capacity) {
+    slot->status.store(TaskStatus::kFree, std::memory_order_release);
+    return regular_path(desc, /*is_fallback=*/true);
+  }
+
+  MarshalledCall call = marshal_into(slot->frame.get(), desc);
+  slot->status.store(TaskStatus::kSubmitted, std::memory_order_release);
+  wake_one_worker();
+
+  // Busy-wait (one `pause` per retry) for a worker to *start* the task.
+  std::uint32_t retries = 0;
+  while (slot->status.load(std::memory_order_acquire) ==
+         TaskStatus::kSubmitted) {
+    if (retries++ >= cfg_.retries_before_fallback) {
+      TaskStatus expected = TaskStatus::kSubmitted;
+      if (slot->status.compare_exchange_strong(expected, TaskStatus::kFree,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        // Cancelled in time: pay the transition after all.
+        return regular_path(desc, /*is_fallback=*/true);
+      }
+      break;  // a worker won the race; it will complete the task
+    }
+    cpu_pause();
+  }
+
+  // Accepted: spin until completion (the SDK spins unboundedly here; the
+  // caller thread is the "exactly one thread busy-waiting" of §IV-A).
+  while (slot->status.load(std::memory_order_acquire) != TaskStatus::kDone) {
+    cpu_pause();
+  }
+
+  unmarshal_from(call, desc);
+  slot->status.store(TaskStatus::kFree, std::memory_order_release);
+  stats_.switchless_calls.add();
+  return CallPath::kSwitchless;
+}
+
+void IntelSwitchlessBackend::worker_main(unsigned index) {
+  const SimConfig& sim = enclave_.config();
+  if (sim.pin_threads) {
+    pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+  }
+  std::size_t meter_slot = 0;
+  if (cfg_.meter != nullptr) {
+    meter_slot = cfg_.meter->register_current_thread();
+  }
+  (void)index;
+  started_.fetch_add(1, std::memory_order_release);
+
+  std::uint32_t idle_retries = 0;
+  std::uint64_t iterations = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    TaskSlot* slot = pool_.accept();
+    if (slot != nullptr) {
+      idle_retries = 0;
+      MarshalledCall call = frame_view(slot->frame.get());
+      FrameHeader* header = reinterpret_cast<FrameHeader*>(slot->frame.get());
+      const OcallTable& table = cfg_.direction == CallDirection::kOcall
+                                    ? enclave_.ocalls()
+                                    : enclave_.ecalls();
+      table.dispatch(header->fn_id, call);
+      slot->status.store(TaskStatus::kDone, std::memory_order_release);
+    } else {
+      cpu_pause();
+      if (++idle_retries >= cfg_.retries_before_sleep) {
+        // Go to sleep until a submission (or stop) wakes us.
+        stats_.worker_sleeps.add();
+        if (cfg_.meter != nullptr) cfg_.meter->checkpoint(meter_slot);
+        std::unique_lock lock(sleep_mu_);
+        sleeping_.fetch_add(1, std::memory_order_release);
+        sleep_cv_.wait(lock, [this] {
+          return !running_.load(std::memory_order_relaxed) ||
+                 pool_.pending() > 0;
+        });
+        sleeping_.fetch_sub(1, std::memory_order_release);
+        idle_retries = 0;
+      }
+    }
+    if (cfg_.meter != nullptr && (++iterations & 0x3FFF) == 0) {
+      cfg_.meter->checkpoint(meter_slot);
+    }
+  }
+  if (cfg_.meter != nullptr) cfg_.meter->unregister_current_thread(meter_slot);
+}
+
+std::unique_ptr<IntelSwitchlessBackend> make_intel_backend(Enclave& enclave,
+                                                           IntelSlConfig cfg) {
+  return std::make_unique<IntelSwitchlessBackend>(enclave, std::move(cfg));
+}
+
+}  // namespace zc::intel

@@ -1,0 +1,73 @@
+// Reimplementation of the Intel SGX SDK switchless-call library (v2.14
+// semantics), used as the paper's baseline in every experiment.
+//
+// Call path (caller = simulated enclave thread):
+//   1. If the ocall id is not in the static switchless set, or no workers
+//      are configured/running: regular ocall.
+//   2. Claim a task-pool slot; pool full -> immediate fallback.
+//   3. Marshal into the slot, submit, wake a sleeping worker if any.
+//   4. Busy-wait up to `retries_before_fallback` pauses for a worker to
+//      accept. On expiry, try to cancel: success -> fallback to a regular
+//      ocall; failure means a worker grabbed it concurrently -> proceed.
+//   5. Spin (unbounded, as the SDK does) until the worker marks the task
+//      done, then unmarshal and free the slot.
+//
+// Worker loop: scan for submitted tasks; after `retries_before_sleep` idle
+// pauses go to sleep on a condition variable; submissions wake sleepers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "intel_sl/intel_config.hpp"
+#include "intel_sl/task_pool.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc::intel {
+
+class IntelSwitchlessBackend final : public CallBackend {
+ public:
+  IntelSwitchlessBackend(Enclave& enclave, IntelSlConfig cfg);
+  ~IntelSwitchlessBackend() override;
+
+  void start() override;
+  void stop() override;
+  CallPath invoke(const CallDesc& desc) override;
+  const char* name() const noexcept override { return "intel_sl"; }
+
+  unsigned active_workers() const noexcept override {
+    return running_.load(std::memory_order_relaxed) ? cfg_.num_workers : 0;
+  }
+
+  const IntelSlConfig& config() const noexcept { return cfg_; }
+
+  /// Number of workers currently asleep (rbs expired); used by tests.
+  unsigned sleeping_workers() const noexcept {
+    return sleeping_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main(unsigned index);
+  void wake_one_worker();
+  CallPath regular_path(const CallDesc& desc, bool is_fallback);
+
+  Enclave& enclave_;
+  IntelSlConfig cfg_;
+  TaskPool pool_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<unsigned> started_{0};
+  std::atomic<unsigned> sleeping_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Convenience factory matching the paper's `i-<fns>-<workers>` notation.
+std::unique_ptr<IntelSwitchlessBackend> make_intel_backend(
+    Enclave& enclave, IntelSlConfig cfg);
+
+}  // namespace zc::intel

@@ -1,0 +1,53 @@
+// Configuration of the Intel-SDK-style switchless backend.
+//
+// Mirrors `sgx_uswitchless_config_t` of SDK v2.14: a fixed number of
+// untrusted worker threads, fixed retry budgets, and a *static* set of
+// routines declared switchless at build time (the `transition_using_threads`
+// EDL attribute).  The paper's §III criticises precisely these knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/cpu_meter.hpp"
+#include "sgx/backend.hpp"
+
+namespace zc::intel {
+
+struct IntelSlConfig {
+  /// Untrusted worker threads serving switchless ocalls
+  /// (SDK: num_uworkers). The paper evaluates 2 and 4.
+  unsigned num_workers = 2;
+
+  /// Busy-wait retries (one `pause` each) a caller performs waiting for a
+  /// worker to *start* its pending task before falling back to a regular
+  /// ocall. SDK default: 20,000 (§III-C calls this value "abnormal").
+  std::uint32_t retries_before_fallback = 20'000;
+
+  /// Idle `pause` retries a worker performs before going to sleep.
+  /// SDK default: 20,000.
+  std::uint32_t retries_before_sleep = 20'000;
+
+  /// Task-pool slots (pending switchless requests). When the pool is full
+  /// the call falls back immediately (SDK behaviour).
+  unsigned task_pool_slots = 8;
+
+  /// Untrusted bytes preallocated per task slot for the marshalled frame.
+  /// Calls that do not fit fall back to the regular path.
+  std::size_t slot_frame_bytes = 512 * 1024;
+
+  /// The build-time switchless set: ocall ids allowed to run switchlessly.
+  /// Everything else takes the regular path. (This is the knob the paper
+  /// makes configless.)
+  std::unordered_set<std::uint32_t> switchless_fns;
+
+  /// Optional CPU accounting for worker threads.
+  CpuUsageMeter* meter = nullptr;
+
+  /// Boundary direction: num_workers models num_uworkers (ocalls) or
+  /// num_tworkers (ecalls) of sgx_uswitchless_config_t.
+  CallDirection direction = CallDirection::kOcall;
+};
+
+}  // namespace zc::intel

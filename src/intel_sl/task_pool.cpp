@@ -1,0 +1,49 @@
+#include "intel_sl/task_pool.hpp"
+
+#include <stdexcept>
+
+namespace zc::intel {
+
+TaskPool::TaskPool(unsigned slots, std::size_t frame_bytes) : slots_(slots) {
+  if (slots == 0) throw std::invalid_argument("task pool needs >= 1 slot");
+  for (auto& s : slots_) {
+    s.frame = std::make_unique<std::byte[]>(frame_bytes);
+    s.frame_capacity = frame_bytes;
+  }
+}
+
+TaskSlot* TaskPool::claim() {
+  for (auto& s : slots_) {
+    TaskStatus expected = TaskStatus::kFree;
+    if (s.status.compare_exchange_strong(expected, TaskStatus::kClaimed,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TaskSlot* TaskPool::accept() {
+  for (auto& s : slots_) {
+    TaskStatus expected = TaskStatus::kSubmitted;
+    if (s.status.compare_exchange_strong(expected, TaskStatus::kAccepted,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+unsigned TaskPool::pending() const noexcept {
+  unsigned n = 0;
+  for (const auto& s : slots_) {
+    if (s.status.load(std::memory_order_relaxed) == TaskStatus::kSubmitted) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace zc::intel

@@ -1,0 +1,54 @@
+// Untrusted task pool shared by enclave callers and switchless workers
+// (Fig. 1 of the paper): callers claim a free slot, marshal their request
+// into it and submit; workers scan for submitted tasks and execute them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace zc::intel {
+
+/// Lifecycle of one pool slot. Transitions:
+///   Free -claim-> Claimed -submit-> Submitted -worker-> Accepted -> Done -> Free
+/// plus the cancellation edge Submitted -caller-> Free (rbf expiry).
+enum class TaskStatus : std::uint32_t {
+  kFree = 0,
+  kClaimed,    ///< caller is marshalling into the slot
+  kSubmitted,  ///< waiting for a worker to accept
+  kAccepted,   ///< a worker is executing the call
+  kDone,       ///< results ready; caller unmarshals then frees
+};
+
+struct alignas(64) TaskSlot {
+  std::atomic<TaskStatus> status{TaskStatus::kFree};
+  std::unique_ptr<std::byte[]> frame;  ///< preallocated untrusted frame
+  std::size_t frame_capacity = 0;
+};
+
+/// Fixed-size pool of task slots. All synchronisation is via the per-slot
+/// status words (the SDK uses the same single-word protocol).
+class TaskPool {
+ public:
+  TaskPool(unsigned slots, std::size_t frame_bytes);
+
+  /// Claims a free slot for marshalling; returns nullptr when the pool is
+  /// full (callers then fall back immediately).
+  TaskSlot* claim();
+
+  /// Finds a submitted task and accepts it. Returns nullptr when no task
+  /// is pending.
+  TaskSlot* accept();
+
+  std::size_t size() const noexcept { return slots_.size(); }
+  TaskSlot& slot(std::size_t i) noexcept { return slots_[i]; }
+
+  /// Number of tasks currently pending (submitted, not yet accepted).
+  unsigned pending() const noexcept;
+
+ private:
+  std::vector<TaskSlot> slots_;
+};
+
+}  // namespace zc::intel

@@ -1,0 +1,71 @@
+#include "sgx/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zc {
+
+AdvisorReport advise_switchless(const CallProfiler& profiler,
+                                const OcallTable& names,
+                                std::uint64_t tes_cycles,
+                                const AdvisorPolicy& policy) {
+  AdvisorReport report;
+  const std::uint64_t total = profiler.total_calls();
+  if (total == 0) return report;
+  const double short_bar =
+      policy.short_call_tes_ratio * static_cast<double>(tes_cycles);
+
+  double switchless_call_share = 0;
+  for (const std::uint32_t id : profiler.active_ids()) {
+    const auto s = profiler.stats(id);
+    Advice advice;
+    advice.fn_id = id;
+    advice.name = id < names.size() ? names.name(id) : "#" + std::to_string(id);
+    advice.mean_cycles = s.mean_cycles();
+    advice.call_share =
+        static_cast<double>(s.calls) / static_cast<double>(total);
+
+    // The profiler sees the *executed* cost including any transition the
+    // call paid; estimate the body cost by subtracting T_es from calls
+    // that transitioned.
+    const double transition_share =
+        static_cast<double>(s.regular + s.fallback) /
+        static_cast<double>(s.calls);
+    const double body_cycles = std::max(
+        0.0, advice.mean_cycles -
+                 transition_share * static_cast<double>(tes_cycles));
+
+    const bool is_short = body_cycles < short_bar;
+    const bool is_frequent = advice.call_share >= policy.min_call_share;
+    advice.make_switchless = is_short && is_frequent;
+    if (advice.make_switchless) {
+      advice.reason = "short body (" + Table::num(body_cycles, 0) +
+                      " cyc < " + Table::num(short_bar, 0) +
+                      ") and frequent (" +
+                      Table::num(100.0 * advice.call_share, 1) + "% of calls)";
+      report.switchless_set.push_back(id);
+      switchless_call_share += advice.call_share;
+    } else if (!is_short) {
+      advice.reason = "body too long (" + Table::num(body_cycles, 0) +
+                      " cyc >= " + Table::num(short_bar, 0) + ")";
+    } else {
+      advice.reason = "too rare (" +
+                      Table::num(100.0 * advice.call_share, 2) +
+                      "% of calls)";
+    }
+    report.per_fn.push_back(std::move(advice));
+  }
+
+  // Worker hint: enough workers to absorb the switchless share of an
+  // assumed-saturated caller population, capped by policy (§III-B: over-
+  // provisioning wastes CPU).
+  if (!report.switchless_set.empty()) {
+    report.workers_hint = std::clamp<unsigned>(
+        static_cast<unsigned>(
+            std::ceil(switchless_call_share * policy.max_workers_hint)),
+        1, policy.max_workers_hint);
+  }
+  return report;
+}
+
+}  // namespace zc

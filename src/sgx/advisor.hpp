@@ -1,0 +1,56 @@
+// Static-configuration advisor.
+//
+// The Intel SGX reference tells developers to "configure a routine as
+// switchless if it has short duration and is frequently called" — §III-A's
+// point is that developers have neither number at build time.  The advisor
+// closes that loop for deployments stuck with the static SDK: feed it a
+// CallProfiler from a representative run and it emits the switchless set
+// (and worker-count hint) the SDK rule implies.  ZC itself needs none of
+// this — which is the paper's thesis — but the advisor makes the baseline
+// configurable from measurements instead of guesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgx/profiler.hpp"
+
+namespace zc {
+
+struct AdvisorPolicy {
+  /// "Short duration": mean call cost below this multiple of T_es.
+  /// A switchless call only pays off when its body is cheaper than the
+  /// transition it avoids; 1.0 is the break-even default.
+  double short_call_tes_ratio = 1.0;
+
+  /// "Frequently called": at least this share of all recorded calls.
+  double min_call_share = 0.01;
+
+  /// Workers-hint cap (the SDK wastes CPU beyond ~cores/2, §III-B).
+  unsigned max_workers_hint = 4;
+};
+
+struct Advice {
+  std::uint32_t fn_id = 0;
+  std::string name;
+  bool make_switchless = false;
+  double mean_cycles = 0;
+  double call_share = 0;
+  std::string reason;
+};
+
+struct AdvisorReport {
+  std::vector<Advice> per_fn;           ///< one entry per observed routine
+  std::vector<std::uint32_t> switchless_set;  ///< recommended ids
+  unsigned workers_hint = 0;            ///< suggested worker count
+};
+
+/// Derives a static switchless configuration from profiled data.
+/// `tes_cycles` is the machine's transition cost (TransitionModel).
+AdvisorReport advise_switchless(const CallProfiler& profiler,
+                                const OcallTable& names,
+                                std::uint64_t tes_cycles,
+                                const AdvisorPolicy& policy = {});
+
+}  // namespace zc

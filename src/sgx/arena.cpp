@@ -1,0 +1,24 @@
+#include "sgx/arena.hpp"
+
+namespace zc {
+
+ScratchArena::ScratchArena(std::size_t initial_capacity)
+    : buffer_(std::make_unique<std::byte[]>(initial_capacity)),
+      capacity_(initial_capacity) {}
+
+void* ScratchArena::acquire(std::size_t size) {
+  if (size > capacity_) {
+    std::size_t grown = capacity_ == 0 ? 4096 : capacity_;
+    while (grown < size) grown *= 2;
+    buffer_ = std::make_unique<std::byte[]>(grown);
+    capacity_ = grown;
+  }
+  return buffer_.get();
+}
+
+ScratchArena& ScratchArena::for_current_thread() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace zc

@@ -1,0 +1,34 @@
+// Per-thread untrusted scratch arena for regular-ocall frames.
+//
+// A regular ocall in the SDK marshals into untrusted stack/heap memory that
+// lives only for the duration of the call; we model that with a per-thread
+// arena that is reset after each call.  Growing beyond the initial
+// reservation is allowed (large write() payloads), mirroring edger8r's
+// malloc fallback.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace zc {
+
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t initial_capacity = 64 * 1024);
+
+  /// Returns a block of at least `size` bytes (16-byte aligned), valid
+  /// until the next acquire(). Grows the arena if needed.
+  void* acquire(std::size_t size);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The calling thread's arena (created on first use).
+  static ScratchArena& for_current_thread();
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t capacity_;
+};
+
+}  // namespace zc

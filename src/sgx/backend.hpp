@@ -1,0 +1,77 @@
+// Call-backend abstraction.
+//
+// Every evaluation in the paper compares three ways of executing the same
+// ocalls: regular transitions (`no_sl`), Intel's static switchless library
+// (`i-*`), and ZC-Switchless (`zc`).  A CallBackend encapsulates one of
+// these policies behind a single `invoke` entry point so applications and
+// benches are mode-agnostic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "sgx/marshal.hpp"
+
+namespace zc {
+
+class Enclave;
+
+/// Which way a switchless backend crosses the enclave boundary: serving
+/// ocalls with untrusted workers, or ecalls with trusted in-enclave
+/// workers (§II: the technique applies symmetrically).
+enum class CallDirection : std::uint8_t {
+  kOcall,  ///< enclave caller -> untrusted worker
+  kEcall,  ///< untrusted caller -> trusted worker
+};
+
+/// How one specific call ended up being executed.
+enum class CallPath : std::uint8_t {
+  kRegular,     ///< normal ocall: paid a full enclave transition
+  kSwitchless,  ///< served by a worker thread, no transition
+  kFallback,    ///< wanted switchless, fell back to a regular ocall
+};
+
+const char* to_string(CallPath path) noexcept;
+
+/// Counters shared by all backends (padded; updated from many threads).
+struct BackendStats {
+  PaddedCounter regular_calls;     ///< calls that took the regular path
+  PaddedCounter switchless_calls;  ///< calls served by a worker
+  PaddedCounter fallback_calls;    ///< switchless attempts that fell back
+  PaddedCounter pool_resets;       ///< worker request-pool reallocations
+  PaddedCounter worker_sleeps;     ///< workers that went to sleep (rbs)
+  PaddedCounter worker_wakeups;    ///< sleeping workers woken by a caller
+
+  std::uint64_t total_calls() const noexcept {
+    return regular_calls.load() + switchless_calls.load() +
+           fallback_calls.load();
+  }
+};
+
+class CallBackend {
+ public:
+  virtual ~CallBackend() = default;
+
+  /// Starts worker/scheduler threads (idempotent for workerless backends).
+  virtual void start() {}
+
+  /// Stops and joins all threads owned by the backend.
+  virtual void stop() {}
+
+  /// Executes one ocall described by `desc` on behalf of the calling
+  /// (simulated) enclave thread.  Blocking; returns after results have been
+  /// unmarshalled back into trusted memory.
+  virtual CallPath invoke(const CallDesc& desc) = 0;
+
+  virtual const char* name() const noexcept = 0;
+
+  const BackendStats& stats() const noexcept { return stats_; }
+
+  /// Number of workers currently allowed to serve calls (0 for regular).
+  virtual unsigned active_workers() const noexcept { return 0; }
+
+ protected:
+  BackendStats stats_;
+};
+
+}  // namespace zc

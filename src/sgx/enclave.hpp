@@ -1,0 +1,226 @@
+// Simulated SGX enclave.
+//
+// The Enclave object stands in for a loaded SGX enclave: it owns the ocall
+// table, the transition cost model, a trusted-heap/EPC accountant, and the
+// call backend that decides how ocalls execute (regular, Intel switchless,
+// or ZC-Switchless).  "Enclave threads" are ordinary threads that enter via
+// `ecall` and then issue `ocall`s; confidentiality is not enforced (this is
+// a performance-model substrate), but the *costs* of crossing the boundary
+// are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+
+#include "common/cycles.hpp"
+#include "sgx/backend.hpp"
+#include "sgx/marshal.hpp"
+#include "sgx/ocall_table.hpp"
+#include "sgx/profiler.hpp"
+#include "sgx/sim_config.hpp"
+#include "sgx/transition.hpp"
+
+namespace zc {
+
+class Enclave {
+ public:
+  /// Loads a simulated enclave. The returned object must outlive every
+  /// thread that calls into it.
+  static std::unique_ptr<Enclave> create(const SimConfig& cfg);
+
+  ~Enclave();
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  const SimConfig& config() const noexcept { return cfg_; }
+  OcallTable& ocalls() noexcept { return table_; }
+  const OcallTable& ocalls() const noexcept { return table_; }
+
+  /// Table of *trusted* functions callable from outside (ecalls by id).
+  /// §II: the switchless techniques "can equally be used for ecalls".
+  OcallTable& ecalls() noexcept { return ecall_table_; }
+  const OcallTable& ecalls() const noexcept { return ecall_table_; }
+  TransitionModel& transitions() noexcept { return transitions_; }
+  const TransitionModel& transitions() const noexcept { return transitions_; }
+
+  /// Installs the call backend (stops a previously installed one first,
+  /// then starts the new one).  Must not race with in-flight ocalls.
+  void set_backend(std::unique_ptr<CallBackend> backend);
+
+  /// The installed backend. A RegularBackend is installed by default.
+  CallBackend& backend() noexcept { return *backend_; }
+  const CallBackend& backend() const noexcept { return *backend_; }
+
+  /// Runs `body` "inside" the enclave: charges one ecall round trip.
+  template <typename Fn>
+  auto ecall(Fn&& body) {
+    transitions_.ecall_roundtrip();
+    return body();
+  }
+
+  /// Installs the backend serving registered ecalls (nullptr restores the
+  /// regular transition-paying path).
+  void set_ecall_backend(std::unique_ptr<CallBackend> backend);
+  CallBackend& ecall_backend() noexcept { return *ecall_backend_; }
+
+  /// Attaches a call profiler observing every ocall/ecall routed through
+  /// the backends (nullptr detaches). The profiler must outlive its
+  /// attachment.
+  void set_profiler(CallProfiler* profiler) noexcept {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+  CallProfiler* profiler() const noexcept {
+    return profiler_.load(std::memory_order_acquire);
+  }
+
+  /// Invokes a registered trusted function through the ecall backend.
+  CallPath ecall_fn(const CallDesc& desc) {
+    CallProfiler* prof = profiler_.load(std::memory_order_acquire);
+    if (prof == nullptr) return ecall_backend_->invoke(desc);
+    const std::uint64_t t0 = rdtsc();
+    const CallPath path = ecall_backend_->invoke(desc);
+    prof->record(desc.fn_id, path, rdtsc() - t0);
+    return path;
+  }
+
+  /// Typed registered-ecall convenience (mirrors ocall()).
+  template <typename Args>
+  CallPath ecall_fn(std::uint32_t fn_id, Args& args) {
+    static_assert(std::is_standard_layout_v<Args>);
+    CallDesc desc;
+    desc.fn_id = fn_id;
+    desc.args = &args;
+    desc.args_size = sizeof(Args);
+    return ecall_fn(desc);
+  }
+
+  /// Issues one ocall through the installed backend.
+  CallPath ocall(const CallDesc& desc) {
+    CallProfiler* prof = profiler_.load(std::memory_order_acquire);
+    if (prof == nullptr) return backend_->invoke(desc);
+    const std::uint64_t t0 = rdtsc();
+    const CallPath path = backend_->invoke(desc);
+    prof->record(desc.fn_id, path, rdtsc() - t0);
+    return path;
+  }
+
+  /// Typed convenience: `Args` is a standard-layout struct holding inputs
+  /// and return slots.
+  template <typename Args>
+  CallPath ocall(std::uint32_t fn_id, Args& args) {
+    static_assert(std::is_standard_layout_v<Args>);
+    CallDesc desc;
+    desc.fn_id = fn_id;
+    desc.args = &args;
+    desc.args_size = sizeof(Args);
+    return ocall(desc);
+  }
+
+  /// Typed ocall with an [in] payload (e.g. write()).
+  template <typename Args>
+  CallPath ocall_in(std::uint32_t fn_id, Args& args, const void* payload,
+                    std::size_t size) {
+    static_assert(std::is_standard_layout_v<Args>);
+    CallDesc desc;
+    desc.fn_id = fn_id;
+    desc.args = &args;
+    desc.args_size = sizeof(Args);
+    desc.in_payload = payload;
+    desc.in_size = size;
+    return ocall(desc);
+  }
+
+  /// Typed ocall with an [out] payload (e.g. read()).
+  template <typename Args>
+  CallPath ocall_out(std::uint32_t fn_id, Args& args, void* payload,
+                     std::size_t size) {
+    static_assert(std::is_standard_layout_v<Args>);
+    CallDesc desc;
+    desc.fn_id = fn_id;
+    desc.args = &args;
+    desc.args_size = sizeof(Args);
+    desc.out_payload = payload;
+    desc.out_size = size;
+    return ocall(desc);
+  }
+
+  // --- Trusted heap / EPC accounting -------------------------------------
+
+  /// Records a trusted-heap allocation of `bytes`. Charges an EPC paging
+  /// penalty for every 4 KiB page that pushes usage beyond the usable EPC.
+  /// Throws std::bad_alloc when the enclave heap budget is exhausted
+  /// (mirrors enclave OOM).
+  void trusted_alloc(std::size_t bytes);
+
+  /// Records a trusted-heap free.
+  void trusted_free(std::size_t bytes) noexcept;
+
+  std::size_t trusted_heap_used() const noexcept;
+  std::size_t trusted_heap_peak() const noexcept;
+  std::uint64_t epc_faults() const noexcept;
+
+ private:
+  explicit Enclave(const SimConfig& cfg);
+
+  SimConfig cfg_;
+  OcallTable table_;
+  OcallTable ecall_table_;
+  TransitionModel transitions_;
+  std::unique_ptr<CallBackend> backend_;
+  std::unique_ptr<CallBackend> ecall_backend_;
+  std::atomic<CallProfiler*> profiler_{nullptr};
+
+  mutable std::mutex heap_mu_;
+  std::size_t heap_used_ = 0;
+  std::size_t heap_peak_ = 0;
+  std::uint64_t epc_faults_ = 0;
+};
+
+/// Executes `desc` as a plain (transition-paying) ocall against `enclave`:
+/// marshal into the caller's scratch arena, EEXIT, dispatch, EENTER,
+/// unmarshal.  This is both the RegularBackend implementation and the
+/// fallback path shared by the switchless backends.
+void execute_regular_ocall(Enclave& enclave, const CallDesc& desc);
+
+/// Executes `desc` as a plain registered ecall: marshal into the bridge
+/// buffer, EENTER + trusted dispatch + EEXIT, unmarshal.
+void execute_regular_ecall(Enclave& enclave, const CallDesc& desc);
+
+/// Backend that runs every ocall with a full enclave transition (`no_sl`).
+class RegularBackend final : public CallBackend {
+ public:
+  explicit RegularBackend(Enclave& enclave) noexcept : enclave_(enclave) {}
+
+  CallPath invoke(const CallDesc& desc) override {
+    execute_regular_ocall(enclave_, desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+
+  const char* name() const noexcept override { return "no_sl"; }
+
+ private:
+  Enclave& enclave_;
+};
+
+/// Backend that runs every registered ecall with a full transition.
+class RegularEcallBackend final : public CallBackend {
+ public:
+  explicit RegularEcallBackend(Enclave& enclave) noexcept
+      : enclave_(enclave) {}
+
+  CallPath invoke(const CallDesc& desc) override {
+    execute_regular_ecall(enclave_, desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+
+  const char* name() const noexcept override { return "no_sl-ecall"; }
+
+ private:
+  Enclave& enclave_;
+};
+
+}  // namespace zc

@@ -1,0 +1,68 @@
+#include "sgx/marshal.hpp"
+
+#include "tlibc/memcpy.hpp"
+
+namespace zc {
+namespace {
+
+constexpr std::size_t kArgsAlign = 16;
+
+std::size_t aligned_args_bytes(std::uint32_t args_size) noexcept {
+  return (static_cast<std::size_t>(args_size) + kArgsAlign - 1) &
+         ~(kArgsAlign - 1);
+}
+
+}  // namespace
+
+std::size_t frame_bytes(const CallDesc& desc) noexcept {
+  return sizeof(FrameHeader) + aligned_args_bytes(desc.args_size) +
+         desc.payload_capacity();
+}
+
+MarshalledCall marshal_into(void* mem, const CallDesc& desc) noexcept {
+  auto* header = static_cast<FrameHeader*>(mem);
+  header->fn_id = desc.fn_id;
+  header->args_size = desc.args_size;
+  header->payload_size = desc.payload_capacity();
+
+  auto* base = static_cast<std::byte*>(mem) + sizeof(FrameHeader);
+  MarshalledCall call;
+  call.args = base;
+  call.args_size = desc.args_size;
+  call.payload = header->payload_size != 0
+                     ? base + aligned_args_bytes(desc.args_size)
+                     : nullptr;
+  call.payload_size = header->payload_size;
+
+  if (desc.args_size != 0) {
+    tlibc::active_memcpy(call.args, desc.args, desc.args_size);
+  }
+  if (desc.in_size != 0) {
+    tlibc::active_memcpy(call.payload, desc.in_payload, desc.in_size);
+  }
+  return call;
+}
+
+MarshalledCall frame_view(void* mem) noexcept {
+  auto* header = static_cast<FrameHeader*>(mem);
+  auto* base = static_cast<std::byte*>(mem) + sizeof(FrameHeader);
+  MarshalledCall call;
+  call.args = base;
+  call.args_size = header->args_size;
+  call.payload = header->payload_size != 0
+                     ? base + aligned_args_bytes(header->args_size)
+                     : nullptr;
+  call.payload_size = header->payload_size;
+  return call;
+}
+
+void unmarshal_from(const MarshalledCall& call, const CallDesc& desc) noexcept {
+  if (desc.args_size != 0) {
+    tlibc::active_memcpy(desc.args, call.args, desc.args_size);
+  }
+  if (desc.out_size != 0) {
+    tlibc::active_memcpy(desc.out_payload, call.payload, desc.out_size);
+  }
+}
+
+}  // namespace zc

@@ -1,0 +1,57 @@
+// Cross-boundary argument marshalling.
+//
+// As in edger8r-generated stubs, every ocall copies its argument struct and
+// any [in] buffer from trusted to untrusted memory, and copies the argument
+// struct (return values) and any [out] buffer back after the call.  All of
+// these copies go through tlibc's *active* memcpy, so the memcpy
+// implementation choice (intel vs zc) affects ocall throughput exactly as
+// in the paper (Figs. 7 and 13).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sgx/ocall_table.hpp"
+
+namespace zc {
+
+/// Trusted-side description of one ocall. The pointed-to memory is
+/// "enclave" memory; the marshalling layer never hands these pointers to
+/// untrusted code, only copies of their contents.
+struct CallDesc {
+  std::uint32_t fn_id = 0;
+  void* args = nullptr;          ///< in/out args struct (includes returns)
+  std::uint32_t args_size = 0;
+  const void* in_payload = nullptr;  ///< [in] buffer, copied t→u
+  std::size_t in_size = 0;
+  void* out_payload = nullptr;  ///< [out] buffer, copied u→t after the call
+  std::size_t out_size = 0;
+
+  /// Untrusted payload capacity needed (single area serves both ways).
+  std::size_t payload_capacity() const noexcept {
+    return in_size > out_size ? in_size : out_size;
+  }
+};
+
+/// Untrusted frame layout: FrameHeader | args bytes | payload bytes.
+struct FrameHeader {
+  std::uint32_t fn_id = 0;
+  std::uint32_t args_size = 0;
+  std::uint64_t payload_size = 0;
+};
+
+/// Bytes of untrusted memory needed to marshal `desc`.
+std::size_t frame_bytes(const CallDesc& desc) noexcept;
+
+/// Marshals `desc` into the untrusted block `mem` (>= frame_bytes(desc)).
+/// Copies args and the [in] payload via the active memcpy.  Returns the
+/// untrusted view handed to handlers/workers.
+MarshalledCall marshal_into(void* mem, const CallDesc& desc) noexcept;
+
+/// Re-creates the untrusted view of a previously marshalled frame.
+MarshalledCall frame_view(void* mem) noexcept;
+
+/// Copies results (args struct and [out] payload) back into trusted memory.
+void unmarshal_from(const MarshalledCall& call, const CallDesc& desc) noexcept;
+
+}  // namespace zc

@@ -1,0 +1,27 @@
+#include "sgx/ocall_table.hpp"
+
+#include <stdexcept>
+
+namespace zc {
+
+std::uint32_t OcallTable::register_fn(std::string name, OcallHandler handler) {
+  if (!handler) throw std::invalid_argument("null ocall handler: " + name);
+  entries_.push_back(Entry{std::move(name), std::move(handler)});
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void OcallTable::dispatch(std::uint32_t id, MarshalledCall& call) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ocall id out of range: " + std::to_string(id));
+  }
+  entries_[id].handler(call);
+}
+
+const std::string& OcallTable::name(std::uint32_t id) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ocall id out of range: " + std::to_string(id));
+  }
+  return entries_[id].name;
+}
+
+}  // namespace zc

@@ -1,0 +1,47 @@
+// Registry of untrusted functions callable from the enclave.
+//
+// Mirrors the edger8r-generated ocall table of the Intel SDK: each ocall is
+// an id into a table of untrusted handlers; the handler receives the
+// marshalled call frame living in untrusted memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// Untrusted view of a marshalled call (see marshal.hpp for the layout).
+struct MarshalledCall {
+  void* args = nullptr;         ///< args struct, includes return slots
+  std::uint32_t args_size = 0;  ///< bytes of the args struct
+  void* payload = nullptr;      ///< optional data buffer ([in]/[out])
+  std::size_t payload_size = 0;
+};
+
+/// An untrusted handler. Runs outside the (simulated) enclave — on the
+/// caller thread for regular ocalls, on a worker thread for switchless ones.
+using OcallHandler = std::function<void(MarshalledCall&)>;
+
+class OcallTable {
+ public:
+  /// Registers a handler and returns its id. Not thread-safe: all
+  /// registration happens before threads start (as with edger8r tables).
+  std::uint32_t register_fn(std::string name, OcallHandler handler);
+
+  /// Invokes handler `id` on `call`. Throws std::out_of_range for bad ids.
+  void dispatch(std::uint32_t id, MarshalledCall& call) const;
+
+  const std::string& name(std::uint32_t id) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    OcallHandler handler;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace zc

@@ -1,0 +1,100 @@
+#include "sgx/profiler.hpp"
+
+#include <algorithm>
+
+namespace zc {
+
+CallProfiler::CallProfiler() : slots_(kMaxFns + 1) {}
+
+void CallProfiler::record(std::uint32_t fn_id, CallPath path,
+                          std::uint64_t cycles) noexcept {
+  Slot& s = slot_for(fn_id);
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  switch (path) {
+    case CallPath::kSwitchless:
+      s.switchless.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CallPath::kFallback:
+      s.fallback.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CallPath::kRegular:
+      s.regular.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  s.total_cycles.fetch_add(cycles, std::memory_order_relaxed);
+
+  std::uint64_t seen = s.min_cycles.load(std::memory_order_relaxed);
+  while (cycles < seen && !s.min_cycles.compare_exchange_weak(
+                              seen, cycles, std::memory_order_relaxed)) {
+  }
+  seen = s.max_cycles.load(std::memory_order_relaxed);
+  while (cycles > seen && !s.max_cycles.compare_exchange_weak(
+                              seen, cycles, std::memory_order_relaxed)) {
+  }
+}
+
+CallProfiler::FnStats CallProfiler::stats(std::uint32_t fn_id) const noexcept {
+  const Slot& s = slot_for(fn_id);
+  FnStats out;
+  out.calls = s.calls.load(std::memory_order_relaxed);
+  out.switchless = s.switchless.load(std::memory_order_relaxed);
+  out.fallback = s.fallback.load(std::memory_order_relaxed);
+  out.regular = s.regular.load(std::memory_order_relaxed);
+  out.total_cycles = s.total_cycles.load(std::memory_order_relaxed);
+  out.max_cycles = s.max_cycles.load(std::memory_order_relaxed);
+  const std::uint64_t min = s.min_cycles.load(std::memory_order_relaxed);
+  out.min_cycles = out.calls == 0 ? 0 : min;
+  return out;
+}
+
+std::uint64_t CallProfiler::total_calls() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) {
+    total += s.calls.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> CallProfiler::active_ids() const {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t id = 0; id < kMaxFns; ++id) {
+    if (slots_[id].calls.load(std::memory_order_relaxed) != 0) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+Table CallProfiler::report(const OcallTable& names) const {
+  Table table({"fn", "calls", "switchless", "fallback", "regular",
+               "mean[cyc]", "min[cyc]", "max[cyc]"});
+  auto ids = active_ids();
+  std::sort(ids.begin(), ids.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return stats(a).total_cycles > stats(b).total_cycles;
+  });
+  for (const std::uint32_t id : ids) {
+    const FnStats s = stats(id);
+    const std::string name =
+        id < names.size() ? names.name(id) : "#" + std::to_string(id);
+    table.add_row({name, std::to_string(s.calls),
+                   std::to_string(s.switchless), std::to_string(s.fallback),
+                   std::to_string(s.regular), Table::num(s.mean_cycles(), 0),
+                   std::to_string(s.min_cycles),
+                   std::to_string(s.max_cycles)});
+  }
+  return table;
+}
+
+void CallProfiler::reset() noexcept {
+  for (Slot& s : slots_) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.switchless.store(0, std::memory_order_relaxed);
+    s.fallback.store(0, std::memory_order_relaxed);
+    s.regular.store(0, std::memory_order_relaxed);
+    s.total_cycles.store(0, std::memory_order_relaxed);
+    s.min_cycles.store(~0ULL, std::memory_order_relaxed);
+    s.max_cycles.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace zc

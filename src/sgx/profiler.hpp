@@ -1,0 +1,99 @@
+// Per-routine call profiler.
+//
+// The paper's future work proposes integrating ZC-Switchless "with
+// profiling tools, to offer deployers an additional monitoring knob over
+// SGX-enabled systems" (§VII).  CallProfiler records, per ocall/ecall id,
+// how many invocations took each path (switchless / fallback / regular) and
+// their cycle costs — exactly the duration+frequency data §III-A says
+// developers lack when forced to configure switchless sets by hand.
+//
+// Recording is wait-free (padded atomics per function id); attach with
+// Enclave::set_profiler and it observes every call routed through the
+// enclave's backends.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sgx/backend.hpp"
+#include "sgx/ocall_table.hpp"
+
+namespace zc {
+
+class CallProfiler {
+ public:
+  /// Function ids >= kMaxFns are counted in an overflow bucket.
+  static constexpr std::uint32_t kMaxFns = 256;
+
+  /// Aggregated view of one routine.
+  struct FnStats {
+    std::uint64_t calls = 0;
+    std::uint64_t switchless = 0;
+    std::uint64_t fallback = 0;
+    std::uint64_t regular = 0;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t min_cycles = 0;  ///< 0 when calls == 0
+    std::uint64_t max_cycles = 0;
+
+    double mean_cycles() const noexcept {
+      return calls == 0 ? 0.0
+                        : static_cast<double>(total_cycles) /
+                              static_cast<double>(calls);
+    }
+    /// Fraction of invocations that avoided a transition.
+    double switchless_ratio() const noexcept {
+      return calls == 0 ? 0.0
+                        : static_cast<double>(switchless) /
+                              static_cast<double>(calls);
+    }
+  };
+
+  CallProfiler();
+
+  /// Records one completed call. Wait-free; safe from any thread.
+  void record(std::uint32_t fn_id, CallPath path,
+              std::uint64_t cycles) noexcept;
+
+  /// Snapshot of one routine's stats.
+  FnStats stats(std::uint32_t fn_id) const noexcept;
+
+  /// Total calls recorded across all routines.
+  std::uint64_t total_calls() const noexcept;
+
+  /// Ids with at least one recorded call, ascending.
+  std::vector<std::uint32_t> active_ids() const;
+
+  /// Renders a per-routine report (sorted by total cycles, descending),
+  /// resolving names from `names` where possible.
+  Table report(const OcallTable& names) const;
+
+  /// Clears all recorded data (not linearizable w.r.t. concurrent record).
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> switchless{0};
+    std::atomic<std::uint64_t> fallback{0};
+    std::atomic<std::uint64_t> regular{0};
+    std::atomic<std::uint64_t> total_cycles{0};
+    std::atomic<std::uint64_t> min_cycles{~0ULL};
+    std::atomic<std::uint64_t> max_cycles{0};
+  };
+
+  Slot& slot_for(std::uint32_t fn_id) noexcept {
+    return slots_[fn_id < kMaxFns ? fn_id : kMaxFns];
+  }
+  const Slot& slot_for(std::uint32_t fn_id) const noexcept {
+    return slots_[fn_id < kMaxFns ? fn_id : kMaxFns];
+  }
+
+  // +1 overflow bucket for ids beyond kMaxFns.
+  std::vector<Slot> slots_;
+};
+
+}  // namespace zc

@@ -1,0 +1,34 @@
+#include "sgx/transition.hpp"
+
+#include <algorithm>
+
+#include "common/cycles.hpp"
+
+namespace zc {
+
+TransitionModel::TransitionModel(const SimConfig& cfg) noexcept
+    : tes_cycles_(cfg.tes_cycles) {
+  const double f = std::clamp(cfg.eexit_fraction, 0.0, 1.0);
+  eexit_cycles_ = static_cast<std::uint64_t>(static_cast<double>(tes_cycles_) * f);
+  eenter_cycles_ = tes_cycles_ - eexit_cycles_;
+}
+
+void TransitionModel::eexit() noexcept {
+  burn_cycles(eexit_cycles_);
+  eexits_.add();
+  burned_.add(eexit_cycles_);
+}
+
+void TransitionModel::eenter() noexcept {
+  burn_cycles(eenter_cycles_);
+  eenters_.add();
+  burned_.add(eenter_cycles_);
+}
+
+void TransitionModel::ecall_roundtrip() noexcept {
+  burn_cycles(tes_cycles_);
+  ecalls_.add();
+  burned_.add(tes_cycles_);
+}
+
+}  // namespace zc

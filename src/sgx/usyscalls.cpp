@@ -1,0 +1,110 @@
+#include "sgx/usyscalls.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "sgx/sim_fs.hpp"
+
+namespace zc {
+namespace {
+
+template <typename Args>
+Args* args_of(MarshalledCall& call) {
+  return static_cast<Args*>(call.args);
+}
+
+FILE* file_of(std::uint64_t handle) {
+  return reinterpret_cast<FILE*>(static_cast<std::uintptr_t>(handle));
+}
+
+}  // namespace
+
+StdOcallIds register_std_ocalls(OcallTable& table, IoMode mode) {
+  StdOcallIds ids;
+  const bool sim = mode == IoMode::kSimulated;
+
+  ids.read = table.register_fn("read", [sim](MarshalledCall& call) {
+    auto* a = args_of<ReadArgs>(call);
+    a->ret = sim ? SimFs::instance().read(a->fd, call.payload, a->count)
+                 : ::read(a->fd, call.payload, a->count);
+  });
+
+  ids.write = table.register_fn("write", [sim](MarshalledCall& call) {
+    auto* a = args_of<WriteArgs>(call);
+    a->ret = sim ? SimFs::instance().write(a->fd, call.payload, a->count)
+                 : ::write(a->fd, call.payload, a->count);
+  });
+
+  ids.open = table.register_fn("open", [sim](MarshalledCall& call) {
+    auto* a = args_of<OpenArgs>(call);
+    a->ret = sim ? SimFs::instance().open(a->path, a->flags)
+                 : ::open(a->path, a->flags, a->mode);
+  });
+
+  ids.close = table.register_fn("close", [sim](MarshalledCall& call) {
+    auto* a = args_of<CloseArgs>(call);
+    a->ret = sim ? SimFs::instance().close(a->fd) : ::close(a->fd);
+  });
+
+  ids.fopen = table.register_fn("fopen", [sim](MarshalledCall& call) {
+    auto* a = args_of<FopenArgs>(call);
+    if (sim) {
+      a->handle = SimFs::instance().fopen(a->path, a->mode);
+    } else {
+      FILE* f = std::fopen(a->path, a->mode);
+      a->handle =
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(f));
+    }
+  });
+
+  ids.fclose = table.register_fn("fclose", [sim](MarshalledCall& call) {
+    auto* a = args_of<FcloseArgs>(call);
+    if (a->handle == 0) {
+      a->ret = -1;
+    } else {
+      a->ret = sim ? SimFs::instance().fclose(a->handle)
+                   : std::fclose(file_of(a->handle));
+    }
+  });
+
+  ids.fread = table.register_fn("fread", [sim](MarshalledCall& call) {
+    auto* a = args_of<FreadArgs>(call);
+    a->ret = sim ? SimFs::instance().fread(call.payload, a->size, a->handle)
+                 : std::fread(call.payload, 1, a->size, file_of(a->handle));
+  });
+
+  ids.fwrite = table.register_fn("fwrite", [sim](MarshalledCall& call) {
+    auto* a = args_of<FwriteArgs>(call);
+    a->ret = sim ? SimFs::instance().fwrite(call.payload, a->size, a->handle)
+                 : std::fwrite(call.payload, 1, a->size, file_of(a->handle));
+  });
+
+  ids.fseeko = table.register_fn("fseeko", [sim](MarshalledCall& call) {
+    auto* a = args_of<FseekoArgs>(call);
+    a->ret = sim ? SimFs::instance().fseeko(a->handle, a->offset, a->whence)
+                 : ::fseeko(file_of(a->handle), a->offset, a->whence);
+  });
+
+  ids.ftello = table.register_fn("ftello", [sim](MarshalledCall& call) {
+    auto* a = args_of<FtelloArgs>(call);
+    a->ret = sim ? SimFs::instance().ftello(a->handle)
+                 : ::ftello(file_of(a->handle));
+  });
+
+  ids.fflush = table.register_fn("fflush", [sim](MarshalledCall& call) {
+    auto* a = args_of<FflushArgs>(call);
+    a->ret = sim ? SimFs::instance().fflush(a->handle)
+                 : std::fflush(file_of(a->handle));
+  });
+
+  ids.usleep = table.register_fn("usleep", [](MarshalledCall& call) {
+    auto* a = args_of<UsleepArgs>(call);
+    ::usleep(static_cast<useconds_t>(a->usec));
+  });
+
+  return ids;
+}
+
+}  // namespace zc

@@ -1,0 +1,112 @@
+// Standard ocall set: the untrusted syscall shims every benchmark in the
+// paper exercises (read/write for lmbench, f* stdio for kissdb and the
+// OpenSSL-style pipeline), with edger8r-style argument structs.
+//
+// FILE* handles never cross into the enclave as pointers; they are opaque
+// integer handles, as in hardened SGX ports.
+#pragma once
+
+#include <cstdint>
+
+#include "sgx/ocall_table.hpp"
+
+namespace zc {
+
+/// Ids of the standard ocalls within one enclave's OcallTable.
+struct StdOcallIds {
+  std::uint32_t read = 0;    ///< read(fd, [out] buf, count) -> ssize_t
+  std::uint32_t write = 0;   ///< write(fd, [in] buf, count) -> ssize_t
+  std::uint32_t open = 0;    ///< open(path, flags, mode) -> fd
+  std::uint32_t close = 0;   ///< close(fd) -> int
+  std::uint32_t fopen = 0;   ///< fopen(path, mode) -> handle
+  std::uint32_t fclose = 0;  ///< fclose(handle) -> int
+  std::uint32_t fread = 0;   ///< fread([out] buf, 1, size, handle) -> size_t
+  std::uint32_t fwrite = 0;  ///< fwrite([in] buf, 1, size, handle) -> size_t
+  std::uint32_t fseeko = 0;  ///< fseeko(handle, off, whence) -> int
+  std::uint32_t ftello = 0;  ///< ftello(handle) -> off_t
+  std::uint32_t fflush = 0;  ///< fflush(handle) -> int
+  std::uint32_t usleep = 0;  ///< usleep(usec)
+};
+
+// Argument structs (standard layout; return slots included).
+
+struct ReadArgs {
+  std::int32_t fd = -1;
+  std::uint64_t count = 0;
+  std::int64_t ret = -1;
+};
+
+struct WriteArgs {
+  std::int32_t fd = -1;
+  std::uint64_t count = 0;
+  std::int64_t ret = -1;
+};
+
+struct OpenArgs {
+  char path[256] = {};
+  std::int32_t flags = 0;
+  std::uint32_t mode = 0;
+  std::int32_t ret = -1;
+};
+
+struct CloseArgs {
+  std::int32_t fd = -1;
+  std::int32_t ret = -1;
+};
+
+struct FopenArgs {
+  char path[256] = {};
+  char mode[8] = {};
+  std::uint64_t handle = 0;  ///< 0 on failure
+};
+
+struct FcloseArgs {
+  std::uint64_t handle = 0;
+  std::int32_t ret = -1;
+};
+
+struct FreadArgs {
+  std::uint64_t handle = 0;
+  std::uint64_t size = 0;
+  std::uint64_t ret = 0;  ///< bytes read
+};
+
+struct FwriteArgs {
+  std::uint64_t handle = 0;
+  std::uint64_t size = 0;
+  std::uint64_t ret = 0;  ///< bytes written
+};
+
+struct FseekoArgs {
+  std::uint64_t handle = 0;
+  std::int64_t offset = 0;
+  std::int32_t whence = 0;
+  std::int32_t ret = -1;
+};
+
+struct FtelloArgs {
+  std::uint64_t handle = 0;
+  std::int64_t ret = -1;
+};
+
+struct FflushArgs {
+  std::uint64_t handle = 0;
+  std::int32_t ret = -1;
+};
+
+struct UsleepArgs {
+  std::uint64_t usec = 0;
+};
+
+/// Which untrusted world serves the standard ocalls.
+enum class IoMode {
+  kReal,       ///< the host OS (functional tests, real deployments)
+  kSimulated,  ///< SimFs in-memory substrate with paper-calibrated syscall
+               ///< costs (the figure benches; see sim_fs.hpp for why)
+};
+
+/// Registers all standard ocalls into `table` and returns their ids.
+StdOcallIds register_std_ocalls(OcallTable& table,
+                                IoMode mode = IoMode::kReal);
+
+}  // namespace zc

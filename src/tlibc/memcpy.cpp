@@ -1,0 +1,148 @@
+#include "tlibc/memcpy.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace zc::tlibc {
+namespace {
+
+using word = std::uintptr_t;
+constexpr std::size_t kWordSize = sizeof(word);
+constexpr std::size_t kWordMask = kWordSize - 1;
+
+std::atomic<MemcpyKind> g_active{MemcpyKind::kIntel};
+
+}  // namespace
+
+// Port of the BSD memcpy the Intel SDK ships in tlibc
+// (sgx_tstdc/.../memcpy.c): when the low bits of src and dst differ the
+// whole copy is byte-by-byte; when they agree, leading bytes are copied
+// until word alignment, then whole words, then the tail.
+void* intel_memcpy(void* dst0, const void* src0, std::size_t length) noexcept {
+  auto* dst = static_cast<unsigned char*>(dst0);
+  const auto* src = static_cast<const unsigned char*>(src0);
+  if (length == 0 || dst == src) return dst0;
+
+  const auto dst_u = reinterpret_cast<std::uintptr_t>(dst);
+  const auto src_u = reinterpret_cast<std::uintptr_t>(src);
+
+  if (dst_u < src_u) {
+    // Copy forward.
+    std::size_t t = src_u;
+    if ((t | dst_u) & kWordMask) {
+      // Try to align both operands; only possible if they agree mod word.
+      if (((t ^ dst_u) & kWordMask) || length < kWordSize) {
+        t = length;  // unaligned: degrade to a full byte copy
+      } else {
+        t = kWordSize - (t & kWordMask);
+      }
+      length -= t;
+      for (; t != 0; --t) *dst++ = *src++;
+    }
+    // Word copy, then trailing bytes.
+    for (std::size_t t2 = length / kWordSize; t2 != 0; --t2) {
+      *reinterpret_cast<word*>(dst) = *reinterpret_cast<const word*>(src);
+      src += kWordSize;
+      dst += kWordSize;
+    }
+    for (std::size_t t2 = length & kWordMask; t2 != 0; --t2) *dst++ = *src++;
+  } else {
+    // Copy backwards (overlapping dst > src).
+    src += length;
+    dst += length;
+    std::size_t t = reinterpret_cast<std::uintptr_t>(src);
+    if ((t | reinterpret_cast<std::uintptr_t>(dst)) & kWordMask) {
+      if (((t ^ reinterpret_cast<std::uintptr_t>(dst)) & kWordMask) ||
+          length <= kWordSize) {
+        t = length;
+      } else {
+        t &= kWordMask;
+      }
+      length -= t;
+      for (; t != 0; --t) *--dst = *--src;
+    }
+    for (std::size_t t2 = length / kWordSize; t2 != 0; --t2) {
+      src -= kWordSize;
+      dst -= kWordSize;
+      *reinterpret_cast<word*>(dst) = *reinterpret_cast<const word*>(src);
+    }
+    for (std::size_t t2 = length & kWordMask; t2 != 0; --t2) *--dst = *--src;
+  }
+  return dst0;
+}
+
+void* zc_memcpy(void* dst0, const void* src0, std::size_t length) noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  void* dst = dst0;
+  const void* src = src0;
+  if (length == 0) return dst0;
+  if (dst0 <= src0 ||
+      static_cast<const char*>(src0) + length <= static_cast<char*>(dst0)) {
+    // Paper Listing 1: forward copy with the hardware string instruction.
+    __asm__ volatile("rep movsb"
+                     : "=D"(dst), "=S"(src), "=c"(length)
+                     : "0"(dst), "1"(src), "2"(length)
+                     : "memory");
+  } else {
+    // Overlapping with dst inside [src, src+n): copy backwards (std flag).
+    auto* d = static_cast<unsigned char*>(dst0) + length - 1;
+    const auto* s = static_cast<const unsigned char*>(src0) + length - 1;
+    __asm__ volatile(
+        "std\n\t"
+        "rep movsb\n\t"
+        "cld"
+        : "=D"(d), "=S"(s), "=c"(length)
+        : "0"(d), "1"(s), "2"(length)
+        : "memory");
+  }
+  return dst0;
+#else
+  return __builtin_memmove(dst0, src0, length);
+#endif
+}
+
+void* tmemset(void* dst, int value, std::size_t n) noexcept {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto v = static_cast<unsigned char>(value);
+  for (std::size_t i = 0; i < n; ++i) d[i] = v;
+  return dst;
+}
+
+int tmemcmp(const void* a, const void* b, std::size_t n) noexcept {
+  const auto* pa = static_cast<const unsigned char*>(a);
+  const auto* pb = static_cast<const unsigned char*>(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pa[i] != pb[i]) return pa[i] < pb[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void set_active_memcpy(MemcpyKind kind) noexcept {
+  g_active.store(kind, std::memory_order_relaxed);
+}
+
+MemcpyKind active_memcpy_kind() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void* active_memcpy(void* dst, const void* src, std::size_t n) noexcept {
+  switch (active_memcpy_kind()) {
+    case MemcpyKind::kZc:
+      return zc_memcpy(dst, src, n);
+    case MemcpyKind::kIntel:
+    default:
+      return intel_memcpy(dst, src, n);
+  }
+}
+
+const char* to_string(MemcpyKind kind) noexcept {
+  switch (kind) {
+    case MemcpyKind::kIntel:
+      return "intel";
+    case MemcpyKind::kZc:
+      return "zc";
+  }
+  return "?";
+}
+
+}  // namespace zc::tlibc

@@ -1,0 +1,189 @@
+#include "tlibc/printf.hpp"
+
+#include <cstdint>
+
+#include "tlibc/string.hpp"
+
+namespace zc::tlibc {
+namespace {
+
+// Accumulates output with truncation; tracks the untruncated length.
+struct Sink {
+  char* out;
+  std::size_t cap;   // bytes usable for characters (cap = size - 1)
+  std::size_t used = 0;  // characters stored
+  std::size_t total = 0;  // characters that would have been written
+
+  void put(char c) noexcept {
+    if (used < cap) out[used++] = c;
+    ++total;
+  }
+  void fill(char c, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) put(c);
+  }
+};
+
+struct Spec {
+  bool left = false;       // '-'
+  bool zero = false;       // '0'
+  std::size_t width = 0;
+  int length = 0;          // 0 = int, 1 = long, 2 = long long
+};
+
+void emit_padded(Sink& sink, const char* digits, std::size_t len,
+                 const Spec& spec, bool negative) noexcept {
+  const std::size_t body = len + (negative ? 1 : 0);
+  const std::size_t pad = spec.width > body ? spec.width - body : 0;
+  if (!spec.left && !spec.zero) sink.fill(' ', pad);
+  if (negative) sink.put('-');
+  if (!spec.left && spec.zero) sink.fill('0', pad);
+  for (std::size_t i = 0; i < len; ++i) sink.put(digits[i]);
+  if (spec.left) sink.fill(' ', pad);
+}
+
+void emit_unsigned(Sink& sink, std::uint64_t value, unsigned base,
+                   bool upper, const Spec& spec, bool negative) noexcept {
+  char buf[24];
+  std::size_t n = 0;
+  const char* alphabet = upper ? "0123456789ABCDEF" : "0123456789abcdef";
+  do {
+    buf[n++] = alphabet[value % base];
+    value /= base;
+  } while (value != 0);
+  char digits[24];
+  for (std::size_t i = 0; i < n; ++i) digits[i] = buf[n - 1 - i];
+  emit_padded(sink, digits, n, spec, negative);
+}
+
+void emit_string(Sink& sink, const char* s, const Spec& spec) noexcept {
+  if (s == nullptr) s = "(null)";
+  const std::size_t len = tstrlen(s);
+  const std::size_t pad = spec.width > len ? spec.width - len : 0;
+  if (!spec.left) sink.fill(' ', pad);
+  for (std::size_t i = 0; i < len; ++i) sink.put(s[i]);
+  if (spec.left) sink.fill(' ', pad);
+}
+
+std::int64_t signed_arg(va_list ap, int length) noexcept {
+  switch (length) {
+    case 2:
+      return va_arg(ap, long long);
+    case 1:
+      return va_arg(ap, long);
+    default:
+      return va_arg(ap, int);
+  }
+}
+
+std::uint64_t unsigned_arg(va_list ap, int length) noexcept {
+  switch (length) {
+    case 2:
+      return va_arg(ap, unsigned long long);
+    case 1:
+      return va_arg(ap, unsigned long);
+    default:
+      return va_arg(ap, unsigned int);
+  }
+}
+
+}  // namespace
+
+int tvsnprintf(char* out, std::size_t size, const char* format, va_list ap) {
+  Sink sink{out, size > 0 ? size - 1 : 0};
+
+  for (const char* p = format; *p != '\0'; ++p) {
+    if (*p != '%') {
+      sink.put(*p);
+      continue;
+    }
+    const char* start = p;
+    ++p;  // skip '%'
+    Spec spec;
+    // Flags.
+    for (;; ++p) {
+      if (*p == '-') {
+        spec.left = true;
+      } else if (*p == '0') {
+        spec.zero = true;
+      } else {
+        break;
+      }
+    }
+    // Width.
+    while (*p >= '0' && *p <= '9') {
+      spec.width = spec.width * 10 + static_cast<std::size_t>(*p - '0');
+      ++p;
+    }
+    // Length modifiers.
+    while (*p == 'l') {
+      ++spec.length;
+      ++p;
+    }
+    if (spec.length > 2) spec.length = 2;
+
+    switch (*p) {
+      case '%':
+        sink.put('%');
+        break;
+      case 'c':
+        sink.put(static_cast<char>(va_arg(ap, int)));
+        break;
+      case 's':
+        emit_string(sink, va_arg(ap, const char*), spec);
+        break;
+      case 'd':
+      case 'i': {
+        const std::int64_t v = signed_arg(ap, spec.length);
+        const bool neg = v < 0;
+        const std::uint64_t mag =
+            neg ? ~static_cast<std::uint64_t>(v) + 1
+                : static_cast<std::uint64_t>(v);
+        emit_unsigned(sink, mag, 10, false, spec, neg);
+        break;
+      }
+      case 'u':
+        emit_unsigned(sink, unsigned_arg(ap, spec.length), 10, false, spec,
+                      false);
+        break;
+      case 'x':
+        emit_unsigned(sink, unsigned_arg(ap, spec.length), 16, false, spec,
+                      false);
+        break;
+      case 'X':
+        emit_unsigned(sink, unsigned_arg(ap, spec.length), 16, true, spec,
+                      false);
+        break;
+      case 'p': {
+        const auto v =
+            reinterpret_cast<std::uintptr_t>(va_arg(ap, void*));
+        sink.put('0');
+        sink.put('x');
+        Spec pspec;  // pointers print unpadded, like glibc's %p core
+        emit_unsigned(sink, v, 16, false, pspec, false);
+        break;
+      }
+      case '\0':
+        // Trailing lone '%': emit it and stop.
+        sink.put('%');
+        --p;  // let the loop's ++p land on the NUL
+        break;
+      default:
+        // Unknown conversion: emit the raw specifier text.
+        for (const char* q = start; q <= p; ++q) sink.put(*q);
+        break;
+    }
+  }
+
+  if (size > 0) out[sink.used] = '\0';
+  return static_cast<int>(sink.total);
+}
+
+int tsnprintf(char* out, std::size_t size, const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  const int n = tvsnprintf(out, size, format, ap);
+  va_end(ap);
+  return n;
+}
+
+}  // namespace zc::tlibc

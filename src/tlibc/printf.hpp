@@ -1,0 +1,27 @@
+// Trusted-libc snprintf subset.
+//
+// §IV-F lists snprintf among the routines the SDK's tlibc re-implements for
+// in-enclave use.  This is a self-contained formatter (no locale, no
+// floating point — enclave code avoids FP formatting) supporting the
+// conversions enclave systems code actually uses:
+//   %s %c %d %i %u %x %X %p %% with optional width, '0'/'-' flags and
+//   l / ll length modifiers.
+// Semantics follow C snprintf: the output is always NUL-terminated when
+// size > 0, and the return value is the length that *would* have been
+// written given unlimited space.
+#pragma once
+
+#include <cstdarg>
+#include <cstddef>
+
+namespace zc::tlibc {
+
+/// snprintf over the supported subset. Unknown conversions are emitted
+/// verbatim (e.g. "%q" prints "%q"), matching the SDK's defensive style.
+int tsnprintf(char* out, std::size_t size, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// va_list variant.
+int tvsnprintf(char* out, std::size_t size, const char* format, va_list ap);
+
+}  // namespace zc::tlibc

@@ -1,0 +1,60 @@
+#include "tlibc/string.hpp"
+
+#include "tlibc/memcpy.hpp"
+
+namespace zc::tlibc {
+
+std::size_t tstrlen(const char* s) noexcept {
+  const char* p = s;
+  while (*p != '\0') ++p;
+  return static_cast<std::size_t>(p - s);
+}
+
+std::size_t tstrnlen(const char* s, std::size_t max) noexcept {
+  std::size_t n = 0;
+  while (n < max && s[n] != '\0') ++n;
+  return n;
+}
+
+int tstrcmp(const char* a, const char* b) noexcept {
+  while (*a != '\0' && *a == *b) {
+    ++a;
+    ++b;
+  }
+  const auto ua = static_cast<unsigned char>(*a);
+  const auto ub = static_cast<unsigned char>(*b);
+  return ua < ub ? -1 : (ua > ub ? 1 : 0);
+}
+
+int tstrncmp(const char* a, const char* b, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ua = static_cast<unsigned char>(a[i]);
+    const auto ub = static_cast<unsigned char>(b[i]);
+    if (ua != ub) return ua < ub ? -1 : 1;
+    if (ua == '\0') return 0;
+  }
+  return 0;
+}
+
+char* tstrncpy(char* dst, const char* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i < n && src[i] != '\0'; ++i) dst[i] = src[i];
+  for (; i < n; ++i) dst[i] = '\0';
+  return dst;
+}
+
+const void* tmemchr(const void* s, int c, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(s);
+  const auto target = static_cast<unsigned char>(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == target) return p + i;
+  }
+  return nullptr;
+}
+
+void* tmemmove(void* dst, const void* src, std::size_t n) noexcept {
+  // intel_memcpy already handles overlap in both directions (BSD bcopy).
+  return intel_memcpy(dst, src, n);
+}
+
+}  // namespace zc::tlibc

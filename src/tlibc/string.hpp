@@ -1,0 +1,36 @@
+// Trusted-libc string subset.
+//
+// The SDK's tlibc re-implements the libc string routines that need no
+// syscalls (§II).  The paper's future work flags them for the same scrutiny
+// as memcpy ("we speculate similar issues might exist in other routines of
+// the tlibc"); these ports are byte-accurate references the test suite
+// checks against the host libc.
+#pragma once
+
+#include <cstddef>
+
+namespace zc::tlibc {
+
+/// strlen: length of a NUL-terminated string.
+std::size_t tstrlen(const char* s) noexcept;
+
+/// strnlen: like strlen but never reads past `max` bytes.
+std::size_t tstrnlen(const char* s, std::size_t max) noexcept;
+
+/// strcmp with libc ordering semantics (sign of the first difference).
+int tstrcmp(const char* a, const char* b) noexcept;
+
+/// strncmp over at most `n` bytes.
+int tstrncmp(const char* a, const char* b, std::size_t n) noexcept;
+
+/// strncpy with libc semantics: pads with NULs up to `n`, does not
+/// terminate when src is longer than n.
+char* tstrncpy(char* dst, const char* src, std::size_t n) noexcept;
+
+/// memchr: first occurrence of byte `c` in the first `n` bytes, or nullptr.
+const void* tmemchr(const void* s, int c, std::size_t n) noexcept;
+
+/// memmove via the (overlap-safe) intel tlibc copy.
+void* tmemmove(void* dst, const void* src, std::size_t n) noexcept;
+
+}  // namespace zc::tlibc

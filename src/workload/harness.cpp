@@ -1,0 +1,51 @@
+#include "workload/harness.hpp"
+
+#include "common/pin.hpp"
+
+namespace zc::workload {
+
+void install_backend(Enclave& enclave, const ModeSpec& spec,
+                     CpuUsageMeter* meter) {
+  switch (spec.mode) {
+    case Mode::kNoSl: {
+      enclave.set_backend(std::make_unique<RegularBackend>(enclave));
+      break;
+    }
+    case Mode::kIntel: {
+      intel::IntelSlConfig cfg;
+      cfg.num_workers = spec.intel_workers;
+      cfg.retries_before_fallback = spec.intel_rbf;
+      cfg.retries_before_sleep = spec.intel_rbs;
+      cfg.switchless_fns.insert(spec.intel_switchless.begin(),
+                                spec.intel_switchless.end());
+      cfg.meter = meter;
+      enclave.set_backend(intel::make_intel_backend(enclave, cfg));
+      break;
+    }
+    case Mode::kZc: {
+      ZcConfig cfg = spec.zc;
+      cfg.meter = meter;
+      enclave.set_backend(make_zc_backend(enclave, cfg));
+      break;
+    }
+  }
+}
+
+SimThreadScope::SimThreadScope(const Enclave& enclave, CpuUsageMeter* meter)
+    : meter_(meter) {
+  const SimConfig& sim = enclave.config();
+  if (sim.pin_threads) {
+    pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+  }
+  if (meter_ != nullptr) slot_ = meter_->register_current_thread();
+}
+
+SimThreadScope::~SimThreadScope() {
+  if (meter_ != nullptr) meter_->unregister_current_thread(slot_);
+}
+
+void SimThreadScope::checkpoint() noexcept {
+  if (meter_ != nullptr) meter_->checkpoint(slot_);
+}
+
+}  // namespace zc::workload

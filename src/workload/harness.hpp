@@ -1,0 +1,100 @@
+// Benchmark-mode harness shared by every macro experiment.
+//
+// The paper runs every application in three modes: `no_sl` (regular ocalls),
+// `i-<fns>-<workers>` (Intel switchless with a static call set and worker
+// count), and `zc` (ZC-Switchless).  A ModeSpec captures one such mode, and
+// `install_backend` applies it to an enclave, wiring the CPU meter into the
+// backend's threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cpu_meter.hpp"
+#include "core/zc_backend.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc::workload {
+
+enum class Mode { kNoSl, kIntel, kZc };
+
+struct ModeSpec {
+  std::string label = "no_sl";
+  Mode mode = Mode::kNoSl;
+
+  /// Intel mode: static switchless ids and worker count.
+  std::vector<std::uint32_t> intel_switchless;
+  unsigned intel_workers = 2;
+  std::uint32_t intel_rbf = 20'000;  ///< paper keeps the SDK defaults
+  std::uint32_t intel_rbs = 20'000;
+
+  /// ZC mode configuration (meter is filled in by install_backend).
+  ZcConfig zc;
+
+  static ModeSpec no_sl() { return ModeSpec{}; }
+
+  static ModeSpec intel(std::string label,
+                        std::vector<std::uint32_t> switchless,
+                        unsigned workers) {
+    ModeSpec spec;
+    spec.label = std::move(label);
+    spec.mode = Mode::kIntel;
+    spec.intel_switchless = std::move(switchless);
+    spec.intel_workers = workers;
+    return spec;
+  }
+
+  static ModeSpec zc_mode(ZcConfig cfg = {}) {
+    ModeSpec spec;
+    spec.label = "zc";
+    spec.mode = Mode::kZc;
+    spec.zc = cfg;
+    return spec;
+  }
+};
+
+/// Installs (and starts) the backend described by `spec` on `enclave`.
+/// `meter`, when given, receives the backend's worker/scheduler threads.
+void install_backend(Enclave& enclave, const ModeSpec& spec,
+                     CpuUsageMeter* meter = nullptr);
+
+/// RAII helper for simulated-machine caller threads: pins to the machine's
+/// CPU window and registers with the meter; checkpoints on destruction.
+class SimThreadScope {
+ public:
+  SimThreadScope(const Enclave& enclave, CpuUsageMeter* meter);
+  ~SimThreadScope();
+  SimThreadScope(const SimThreadScope&) = delete;
+  SimThreadScope& operator=(const SimThreadScope&) = delete;
+
+  /// Publishes the thread's CPU time (call periodically in long loops).
+  void checkpoint() noexcept;
+
+ private:
+  CpuUsageMeter* meter_;
+  std::size_t slot_ = 0;
+};
+
+/// One measured run: wall seconds plus simulated-machine CPU usage.
+struct Measured {
+  double seconds = 0;
+  double cpu_percent = 0;
+};
+
+/// Runs `body` between meter-window boundaries and reports wall + CPU.
+template <typename Fn>
+Measured measure(CpuUsageMeter& meter, Fn&& body) {
+  meter.begin_window();
+  const std::uint64_t t0 = wall_ns();
+  body();
+  const std::uint64_t t1 = wall_ns();
+  Measured m;
+  m.seconds = static_cast<double>(t1 - t0) * 1e-9;
+  m.cpu_percent = meter.window_usage_percent();
+  return m;
+}
+
+}  // namespace zc::workload

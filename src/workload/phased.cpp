@@ -1,0 +1,57 @@
+#include "workload/phased.hpp"
+
+namespace zc::workload {
+
+std::uint64_t PhasedPlan::periods_impl(double total, double tau) noexcept {
+  if (tau <= 0 || total <= 0) return 0;
+  // Round to the nearest period: 1.2 / 0.1 must be 12, not 11.999... -> 11.
+  return static_cast<std::uint64_t>(total / tau + 0.5);
+}
+
+std::uint64_t PhasedPlan::ops_for_period(std::uint64_t p) const noexcept {
+  const std::uint64_t n = periods();
+  if (n == 0) return 0;
+  const std::uint64_t phase_len = n / 3;
+  if (phase_len == 0) return initial_ops;
+
+  auto doubled = [this](std::uint64_t steps) {
+    // Saturating doubling to avoid overflow on long plans.
+    std::uint64_t ops = initial_ops;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+      if (ops > (std::uint64_t{1} << 62)) break;
+      ops *= 2;
+    }
+    return ops;
+  };
+
+  if (p < phase_len) {
+    // Phase 1: double every period.
+    return doubled(p);
+  }
+  const std::uint64_t peak = doubled(phase_len - 1);
+  if (p < 2 * phase_len) {
+    // Phase 2: constant at the peak.
+    return peak;
+  }
+  // Phase 3: halve every period (floor at 1).
+  std::uint64_t ops = peak;
+  const std::uint64_t steps = p - 2 * phase_len + 1;
+  for (std::uint64_t i = 0; i < steps && ops > 1; ++i) ops /= 2;
+  return ops;
+}
+
+std::uint64_t PhasedPlan::peak_ops() const noexcept {
+  const std::uint64_t phase_len = periods() / 3;
+  if (phase_len == 0) return initial_ops;
+  return ops_for_period(phase_len - 1);
+}
+
+std::vector<std::uint64_t> PhasedPlan::schedule() const {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t n = periods();
+  out.reserve(n);
+  for (std::uint64_t p = 0; p < n; ++p) out.push_back(ops_for_period(p));
+  return out;
+}
+
+}  // namespace zc::workload

@@ -1,0 +1,42 @@
+// Dynamic-workload generator (paper §V-C).
+//
+// The lmbench dynamic benchmark divides its runtime into three equal phases:
+//   (1) increasing frequency — the number of operations per period τ doubles
+//       every τ;
+//   (2) constant frequency — held at the phase-1 peak;
+//   (3) decreasing frequency — halved every τ.
+// This models the load the ZC scheduler must adapt to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zc::workload {
+
+struct PhasedPlan {
+  /// Period τ between frequency changes (paper: 0.5 s).
+  double tau_seconds = 0.5;
+  /// Total run time (paper: 60 s — 20 s per phase).
+  double total_seconds = 60.0;
+  /// Operations in the first period of phase 1.
+  std::uint64_t initial_ops = 1'000;
+
+  /// Number of τ periods in the whole plan (rounded to the nearest period).
+  std::uint64_t periods() const noexcept {
+    return periods_impl(total_seconds, tau_seconds);
+  }
+
+  static std::uint64_t periods_impl(double total, double tau) noexcept;
+
+  /// Target operation count for period `p` (0-based), following the
+  /// increase/steady/decrease schedule.
+  std::uint64_t ops_for_period(std::uint64_t p) const noexcept;
+
+  /// Peak per-period operation count (end of phase 1).
+  std::uint64_t peak_ops() const noexcept;
+
+  /// Full schedule as a vector (one entry per period).
+  std::vector<std::uint64_t> schedule() const;
+};
+
+}  // namespace zc::workload

@@ -1,0 +1,133 @@
+#include "workload/synthetic.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "common/cpu_meter.hpp"
+#include "common/cycles.hpp"
+#include "common/pin.hpp"
+
+namespace zc::workload {
+namespace {
+
+void f_handler(MarshalledCall&) {
+  // void f(void) {}
+}
+
+void g_handler(MarshalledCall& call) {
+  const auto* args = static_cast<const GArgs*>(call.args);
+  pause_n(args->pauses);
+}
+
+}  // namespace
+
+SyntheticOcalls register_synthetic_ocalls(OcallTable& table) {
+  SyntheticOcalls ids;
+  ids.f_a = table.register_fn("f", f_handler);
+  ids.f_b = table.register_fn("f#alias", f_handler);
+  ids.g_a = table.register_fn("g", g_handler);
+  ids.g_b = table.register_fn("g#alias", g_handler);
+  return ids;
+}
+
+const char* to_string(SynthConfig c) noexcept {
+  switch (c) {
+    case SynthConfig::kC1:
+      return "C1";
+    case SynthConfig::kC2:
+      return "C2";
+    case SynthConfig::kC3:
+      return "C3";
+    case SynthConfig::kC4:
+      return "C4";
+    case SynthConfig::kC5:
+      return "C5";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> intel_switchless_set(SynthConfig config,
+                                                const SyntheticOcalls& ids) {
+  switch (config) {
+    case SynthConfig::kC1:
+      return {ids.f_a, ids.f_b};
+    case SynthConfig::kC2:
+      return {ids.g_a, ids.g_b};
+    case SynthConfig::kC3:
+      return {ids.f_a, ids.g_a};  // the alias ids stay regular
+    case SynthConfig::kC4:
+      return {ids.f_a, ids.f_b, ids.g_a, ids.g_b};
+    case SynthConfig::kC5:
+      return {};
+  }
+  return {};
+}
+
+SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
+                              const SyntheticRunConfig& run) {
+  const unsigned threads = run.enclave_threads == 0 ? 1 : run.enclave_threads;
+  const std::uint64_t per_thread = run.total_calls / threads;
+
+  const BackendStats& stats = enclave.backend().stats();
+  const std::uint64_t sl0 = stats.switchless_calls.load();
+  const std::uint64_t fb0 = stats.fallback_calls.load();
+  const std::uint64_t rg0 = stats.regular_calls.load();
+
+  std::atomic<std::uint64_t> f_calls{0};
+  std::atomic<std::uint64_t> g_calls{0};
+  std::barrier sync(static_cast<std::ptrdiff_t>(threads) + 1);
+
+  std::vector<std::jthread> callers;
+  callers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    callers.emplace_back([&, t] {
+      const SimConfig& sim = enclave.config();
+      if (sim.pin_threads) {
+        pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+      }
+      sync.arrive_and_wait();  // start line
+      // One ecall to "enter the enclave", then issue the ocall mix.
+      enclave.ecall([&] {
+        std::uint64_t local_f = 0;
+        std::uint64_t local_g = 0;
+        for (std::uint64_t k = 0; k < per_thread; ++k) {
+          const bool is_g = (k % 4) == 3;  // pattern f,f,f,g  (α = 3β)
+          const bool alias = run.config == SynthConfig::kC3 && (k & 4) != 0;
+          if (is_g) {
+            GArgs args;
+            args.pauses = run.g_pauses;
+            enclave.ocall(alias ? ids.g_b : ids.g_a, args);
+            ++local_g;
+          } else {
+            FArgs args;
+            enclave.ocall(alias ? ids.f_b : ids.f_a, args);
+            ++local_f;
+          }
+        }
+        f_calls.fetch_add(local_f, std::memory_order_relaxed);
+        g_calls.fetch_add(local_g, std::memory_order_relaxed);
+        return 0;
+      });
+      sync.arrive_and_wait();  // finish line
+      (void)t;
+    });
+  }
+
+  sync.arrive_and_wait();
+  const std::uint64_t t0 = wall_ns();
+  sync.arrive_and_wait();
+  const std::uint64_t t1 = wall_ns();
+  callers.clear();
+
+  SyntheticResult result;
+  result.seconds = static_cast<double>(t1 - t0) * 1e-9;
+  result.f_calls = f_calls.load();
+  result.g_calls = g_calls.load();
+  result.switchless = stats.switchless_calls.load() - sl0;
+  result.fallbacks = stats.fallback_calls.load() - fb0;
+  result.regular = stats.regular_calls.load() - rg0;
+  return result;
+}
+
+}  // namespace zc::workload

@@ -1,0 +1,78 @@
+// Synthetic micro-workload of §III-A (used by Figs. 2 and 3).
+//
+// Two ocall routines:
+//   f — empty function (`void f(void){}`), the ideal switchless candidate;
+//   g — busy-wait loop of k `asm("pause")` instructions, the routine that
+//       should run as a regular ocall.
+// The benchmark issues n ocalls with α calls to f and β to g, α = 3β.
+//
+// Each routine is registered under *two* ids mapping to the same handler so
+// that configuration C3 ("half of the f and g calls switchless") can be
+// expressed with Intel's static per-id selection: the driver routes half of
+// the calls to the id inside the switchless set and half to the id outside.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgx/enclave.hpp"
+#include "sgx/ocall_table.hpp"
+
+namespace zc::workload {
+
+struct SyntheticOcalls {
+  std::uint32_t f_a = 0;  ///< f, primary id
+  std::uint32_t f_b = 0;  ///< f, alias id (outside the switchless set in C3)
+  std::uint32_t g_a = 0;  ///< g, primary id
+  std::uint32_t g_b = 0;  ///< g, alias id
+};
+
+struct FArgs {
+  std::uint32_t unused = 0;
+};
+
+struct GArgs {
+  std::uint64_t pauses = 0;  ///< busy-wait length in pause instructions
+};
+
+/// Registers f and g (each twice) into `table`.
+SyntheticOcalls register_synthetic_ocalls(OcallTable& table);
+
+/// The five build-time configurations evaluated in §III-A.
+enum class SynthConfig {
+  kC1,  ///< f switchless, g regular (expected best)
+  kC2,  ///< f regular, g switchless (expected worst)
+  kC3,  ///< half of f and half of g switchless
+  kC4,  ///< everything switchless
+  kC5,  ///< everything regular
+};
+
+const char* to_string(SynthConfig c) noexcept;
+
+/// Ids an Intel backend must declare switchless to realise `config`.
+std::vector<std::uint32_t> intel_switchless_set(SynthConfig config,
+                                                const SyntheticOcalls& ids);
+
+struct SyntheticRunConfig {
+  std::uint64_t total_calls = 100'000;  ///< n = α + β with α = 3β
+  unsigned enclave_threads = 8;         ///< paper: 8 in-enclave threads
+  std::uint64_t g_pauses = 10;          ///< duration of g in pauses
+  SynthConfig config = SynthConfig::kC1;
+};
+
+struct SyntheticResult {
+  double seconds = 0;              ///< wall time for all calls
+  std::uint64_t f_calls = 0;
+  std::uint64_t g_calls = 0;
+  std::uint64_t switchless = 0;    ///< backend counter delta
+  std::uint64_t fallbacks = 0;
+  std::uint64_t regular = 0;
+};
+
+/// Runs the synthetic benchmark against the enclave's installed backend.
+/// Threads issue calls in the repeating pattern f,f,f,g (α = 3β).  In C3,
+/// odd-numbered f/g calls use the alias ids.
+SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
+                              const SyntheticRunConfig& run);
+
+}  // namespace zc::workload

@@ -1,0 +1,160 @@
+#include "apps/crypto/file_crypto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+namespace zc::app {
+namespace {
+
+class FileCryptoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 200;
+    enclave_ = Enclave::create(cfg);
+    libc_ = std::make_unique<EnclaveLibc>(*enclave_);
+    base_ = testutil::unique_tmp_path("zc_fc");
+    plain_path_ = base_.string() + ".plain";
+    cipher_path_ = base_.string() + ".cipher";
+    out_path_ = base_.string() + ".out";
+    for (auto& b : key_) b = 0x11;
+    for (auto& b : iv_) b = 0x22;
+  }
+  void TearDown() override {
+    std::filesystem::remove(plain_path_);
+    std::filesystem::remove(cipher_path_);
+    std::filesystem::remove(out_path_);
+  }
+
+  std::vector<std::uint8_t> write_plaintext(std::size_t n, unsigned seed = 1) {
+    std::mt19937 rng(seed);
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    std::ofstream out(plain_path_, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return data;
+  }
+
+  std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::unique_ptr<EnclaveLibc> libc_;
+  std::filesystem::path base_;
+  std::string plain_path_, cipher_path_, out_path_;
+  std::uint8_t key_[32];
+  std::uint8_t iv_[16];
+};
+
+TEST_F(FileCryptoTest, EncryptThenDecryptRecoversContent) {
+  const auto data = write_plaintext(100'000);
+  const auto enc =
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 4096);
+  ASSERT_TRUE(enc.ok);
+  EXPECT_EQ(enc.bytes_in, data.size());
+  // Padded to the next 16-byte boundary.
+  EXPECT_EQ(enc.bytes_out, (data.size() / 16 + 1) * 16);
+
+  const auto dec =
+      decrypt_file(*libc_, cipher_path_, out_path_, key_, iv_, 4096);
+  ASSERT_TRUE(dec.ok);
+  EXPECT_EQ(read_file(out_path_), data);
+}
+
+TEST_F(FileCryptoTest, CiphertextDiffersFromPlaintext) {
+  const auto data = write_plaintext(4096);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 1024).ok);
+  const auto cipher = read_file(cipher_path_);
+  EXPECT_NE(cipher, data);
+  EXPECT_EQ(cipher.size(), data.size() + 16);  // exact multiple: full pad block
+}
+
+TEST_F(FileCryptoTest, DiscardingDecryptStillValidates) {
+  write_plaintext(10'000);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 2048).ok);
+  const auto dec = decrypt_file(*libc_, cipher_path_, "", key_, iv_, 2048);
+  EXPECT_TRUE(dec.ok);
+  EXPECT_EQ(dec.bytes_out, 0u);
+  EXPECT_GT(dec.bytes_in, 0u);
+}
+
+TEST_F(FileCryptoTest, EmptyInputYieldsOnePaddingBlock) {
+  write_plaintext(0);
+  const auto enc =
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 4096);
+  ASSERT_TRUE(enc.ok);
+  EXPECT_EQ(enc.bytes_out, 16u);
+  const auto dec =
+      decrypt_file(*libc_, cipher_path_, out_path_, key_, iv_, 4096);
+  ASSERT_TRUE(dec.ok);
+  EXPECT_TRUE(read_file(out_path_).empty());
+}
+
+TEST_F(FileCryptoTest, ChunkSizeDoesNotAffectCiphertext) {
+  write_plaintext(50'000);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 1024).ok);
+  const auto small_chunks = read_file(cipher_path_);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 16384).ok);
+  EXPECT_EQ(read_file(cipher_path_), small_chunks);
+}
+
+TEST_F(FileCryptoTest, WrongKeyFailsCleanly) {
+  write_plaintext(5'000);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 4096).ok);
+  std::uint8_t wrong[32] = {};
+  const auto dec =
+      decrypt_file(*libc_, cipher_path_, out_path_, wrong, iv_, 4096);
+  EXPECT_FALSE(dec.ok);  // padding check fails
+}
+
+TEST_F(FileCryptoTest, RejectsBadChunkSize) {
+  write_plaintext(100);
+  EXPECT_FALSE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 0).ok);
+  EXPECT_FALSE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 100).ok);
+}
+
+TEST_F(FileCryptoTest, MissingInputFails) {
+  EXPECT_FALSE(
+      encrypt_file(*libc_, "/nonexistent", cipher_path_, key_, iv_).ok);
+  EXPECT_FALSE(decrypt_file(*libc_, "/nonexistent", "", key_, iv_).ok);
+}
+
+TEST_F(FileCryptoTest, TruncatedCiphertextFails) {
+  write_plaintext(5'000);
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 4096).ok);
+  // Chop 7 bytes off: no longer a block multiple.
+  std::filesystem::resize_file(cipher_path_,
+                               std::filesystem::file_size(cipher_path_) - 7);
+  EXPECT_FALSE(decrypt_file(*libc_, cipher_path_, "", key_, iv_, 4096).ok);
+}
+
+TEST_F(FileCryptoTest, PipelineIssuesFreadFwriteOcalls) {
+  write_plaintext(64 * 1024);
+  const std::uint64_t before = enclave_->transitions().eexit_count();
+  ASSERT_TRUE(
+      encrypt_file(*libc_, plain_path_, cipher_path_, key_, iv_, 4096).ok);
+  // 16 chunks: >= 16 freads + >= 16 fwrites + fopen/fclose pairs.
+  EXPECT_GE(enclave_->transitions().eexit_count() - before, 32u);
+}
+
+}  // namespace
+}  // namespace zc::app

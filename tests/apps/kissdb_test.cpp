@@ -1,0 +1,238 @@
+#include "apps/kissdb/kissdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+
+namespace zc::app {
+namespace {
+
+class KissDBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 200;  // keep the many-op tests quick
+    enclave_ = Enclave::create(cfg);
+    libc_ = std::make_unique<EnclaveLibc>(*enclave_);
+    path_ = testutil::unique_tmp_path("zc_kissdb");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  static std::array<std::uint8_t, 8> key8(std::uint64_t v) {
+    std::array<std::uint8_t, 8> k{};
+    std::memcpy(k.data(), &v, sizeof(v));
+    return k;
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::unique_ptr<EnclaveLibc> libc_;
+  std::filesystem::path path_;
+};
+
+TEST_F(KissDBTest, RejectsZeroedOptions) {
+  KissDB db;
+  KissDB::Options bad;
+  bad.hash_table_size = 0;
+  EXPECT_EQ(db.open(*libc_, path_.string(), bad), KissDB::kErrorInvalid);
+}
+
+TEST_F(KissDBTest, OpsOnClosedDbFail) {
+  KissDB db;
+  std::uint64_t v = 0;
+  EXPECT_EQ(db.put(&v, &v), KissDB::kErrorInvalid);
+  EXPECT_EQ(db.get(&v, &v), KissDB::kErrorInvalid);
+}
+
+TEST_F(KissDBTest, CreatesFreshDatabase) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  EXPECT_TRUE(db.is_open());
+  EXPECT_EQ(db.pages(), 0u);
+}
+
+TEST_F(KissDBTest, PutThenGetRoundTrips) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  const auto key = key8(42);
+  const auto value = key8(0xDEADBEEF);
+  ASSERT_EQ(db.put(key.data(), value.data()), KissDB::kOk);
+  std::array<std::uint8_t, 8> out{};
+  ASSERT_EQ(db.get(key.data(), out.data()), KissDB::kOk);
+  EXPECT_EQ(out, value);
+}
+
+TEST_F(KissDBTest, MissingKeyIsNotFound) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  const auto key = key8(1);
+  std::array<std::uint8_t, 8> out{};
+  EXPECT_EQ(db.get(key.data(), out.data()), KissDB::kNotFound);
+  const auto other = key8(2);
+  ASSERT_EQ(db.put(other.data(), other.data()), KissDB::kOk);
+  EXPECT_EQ(db.get(key.data(), out.data()), KissDB::kNotFound);
+}
+
+TEST_F(KissDBTest, OverwriteReplacesValueInPlace) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  const auto key = key8(7);
+  ASSERT_EQ(db.put(key.data(), key8(1).data()), KissDB::kOk);
+  ASSERT_EQ(db.put(key.data(), key8(2).data()), KissDB::kOk);
+  std::array<std::uint8_t, 8> out{};
+  ASSERT_EQ(db.get(key.data(), out.data()), KissDB::kOk);
+  EXPECT_EQ(out, key8(2));
+  EXPECT_EQ(db.pages(), 1u);  // overwrite must not add pages
+}
+
+TEST_F(KissDBTest, CollisionsChainNewPages) {
+  KissDB db;
+  KissDB::Options opts;
+  opts.hash_table_size = 4;  // tiny table to force collisions
+  ASSERT_EQ(db.open(*libc_, path_.string(), opts), KissDB::kOk);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto key = key8(i);
+    ASSERT_EQ(db.put(key.data(), key.data()), KissDB::kOk) << i;
+  }
+  EXPECT_GT(db.pages(), 1u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto key = key8(i);
+    std::array<std::uint8_t, 8> out{};
+    ASSERT_EQ(db.get(key.data(), out.data()), KissDB::kOk) << i;
+    EXPECT_EQ(out, key);
+  }
+}
+
+TEST_F(KissDBTest, PersistsAcrossReopen) {
+  KissDB::Options opts;
+  opts.hash_table_size = 16;
+  {
+    KissDB db;
+    ASSERT_EQ(db.open(*libc_, path_.string(), opts), KissDB::kOk);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const auto key = key8(i);
+      const auto value = key8(i * 31);
+      ASSERT_EQ(db.put(key.data(), value.data()), KissDB::kOk);
+    }
+  }
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), opts), KissDB::kOk);
+  EXPECT_GT(db.pages(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto key = key8(i);
+    std::array<std::uint8_t, 8> out{};
+    ASSERT_EQ(db.get(key.data(), out.data()), KissDB::kOk) << i;
+    EXPECT_EQ(out, key8(i * 31));
+  }
+}
+
+TEST_F(KissDBTest, ReopenWithDifferentGeometryFails) {
+  {
+    KissDB db;
+    ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  }
+  KissDB db;
+  KissDB::Options other;
+  other.hash_table_size = 999;
+  EXPECT_EQ(db.open(*libc_, path_.string(), other), KissDB::kErrorInvalid);
+}
+
+TEST_F(KissDBTest, OpenGarbageFileIsMalformed) {
+  {
+    std::ofstream out(path_);
+    out << "this is not a kissdb file, definitely long enough to read";
+  }
+  KissDB db;
+  EXPECT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kErrorMalformed);
+}
+
+TEST_F(KissDBTest, DoubleOpenFails) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  EXPECT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kErrorInvalid);
+}
+
+TEST_F(KissDBTest, WideKeysAndValues) {
+  KissDB db;
+  KissDB::Options opts;
+  opts.key_size = 32;
+  opts.value_size = 128;
+  ASSERT_EQ(db.open(*libc_, path_.string(), opts), KissDB::kOk);
+  std::vector<std::uint8_t> key(32, 0x5A);
+  std::vector<std::uint8_t> value(128);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_EQ(db.put(key.data(), value.data()), KissDB::kOk);
+  std::vector<std::uint8_t> out(128, 0);
+  ASSERT_EQ(db.get(key.data(), out.data()), KissDB::kOk);
+  EXPECT_EQ(out, value);
+}
+
+TEST_F(KissDBTest, EveryOperationGoesThroughOcalls) {
+  KissDB db;
+  ASSERT_EQ(db.open(*libc_, path_.string(), {}), KissDB::kOk);
+  const std::uint64_t before = enclave_->transitions().eexit_count();
+  const auto key = key8(123);
+  ASSERT_EQ(db.put(key.data(), key.data()), KissDB::kOk);
+  // A fresh-key put issues at least seek+write+write+seek+write = 5 ocalls.
+  EXPECT_GE(enclave_->transitions().eexit_count() - before, 4u);
+}
+
+TEST_F(KissDBTest, HashIsDeterministicAndSpreads) {
+  const auto a = key8(1);
+  const auto b = key8(2);
+  EXPECT_EQ(KissDB::hash(a.data(), 8), KissDB::hash(a.data(), 8));
+  EXPECT_NE(KissDB::hash(a.data(), 8), KissDB::hash(b.data(), 8));
+}
+
+// Property test: random puts/overwrites/gets must agree with std::map.
+class KissDBPropertyTest : public KissDBTest,
+                           public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(KissDBPropertyTest, AgreesWithReferenceMap) {
+  KissDB db;
+  KissDB::Options opts;
+  opts.hash_table_size = 32;
+  ASSERT_EQ(db.open(*libc_, path_.string(), opts), KissDB::kOk);
+
+  std::mt19937_64 rng(GetParam());
+  std::map<std::uint64_t, std::uint64_t> reference;
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t k = rng() % 64;  // small key space: overwrites happen
+    const auto key = key8(k);
+    if (rng() % 3 == 0 && !reference.empty()) {
+      std::array<std::uint8_t, 8> out{};
+      const int rc = db.get(key.data(), out.data());
+      if (reference.contains(k)) {
+        ASSERT_EQ(rc, KissDB::kOk);
+        EXPECT_EQ(out, key8(reference[k]));
+      } else {
+        EXPECT_EQ(rc, KissDB::kNotFound);
+      }
+    } else {
+      const std::uint64_t v = rng();
+      ASSERT_EQ(db.put(key.data(), key8(v).data()), KissDB::kOk);
+      reference[k] = v;
+    }
+  }
+  for (const auto& [k, v] : reference) {
+    std::array<std::uint8_t, 8> out{};
+    ASSERT_EQ(db.get(key8(k).data(), out.data()), KissDB::kOk);
+    EXPECT_EQ(out, key8(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KissDBPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+}  // namespace
+}  // namespace zc::app

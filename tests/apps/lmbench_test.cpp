@@ -1,0 +1,111 @@
+#include "apps/lmbench/lat_syscall.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "core/zc_backend.hpp"
+#include "workload/harness.hpp"
+
+namespace zc::app {
+namespace {
+
+class LmbenchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 1'000;
+    cfg.logical_cpus = 8;
+    enclave_ = Enclave::create(cfg);
+    libc_ = std::make_unique<EnclaveLibc>(*enclave_);
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::unique_ptr<EnclaveLibc> libc_;
+};
+
+TEST_F(LmbenchTest, ReadWordsReadsFromDevZero) {
+  const int fd = libc_->open("/dev/zero", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(read_words(*libc_, fd, 100), 100u);
+  libc_->close(fd);
+}
+
+TEST_F(LmbenchTest, WriteWordsWritesToDevNull) {
+  const int fd = libc_->open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(write_words(*libc_, fd, 100), 100u);
+  libc_->close(fd);
+}
+
+TEST_F(LmbenchTest, ReadFromBadFdStopsEarly) {
+  EXPECT_EQ(read_words(*libc_, -1, 10), 0u);
+  EXPECT_EQ(write_words(*libc_, -1, 10), 0u);
+}
+
+TEST_F(LmbenchTest, EachOpIsOneOcall) {
+  const int fd = libc_->open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  const std::uint64_t before = enclave_->transitions().eexit_count();
+  write_words(*libc_, fd, 50);
+  EXPECT_EQ(enclave_->transitions().eexit_count() - before, 50u);
+  libc_->close(fd);
+}
+
+TEST_F(LmbenchTest, DynamicRunProducesOneSamplePerPeriod) {
+  workload::PhasedPlan plan;
+  plan.tau_seconds = 0.1;
+  plan.total_seconds = 1.2;  // 12 periods, 4 per phase
+  plan.initial_ops = 50;
+
+  CpuUsageMeter meter(8);
+  const auto result = run_dynamic_syscall_bench(*libc_, plan, meter);
+  ASSERT_EQ(result.samples.size(), 12u);
+  EXPECT_GT(result.total_reads, 0u);
+  EXPECT_GT(result.total_writes, 0u);
+  for (const auto& s : result.samples) {
+    EXPECT_GE(s.read_kops, 0.0);
+    EXPECT_GE(s.cpu_percent, 0.0);
+    EXPECT_LE(s.cpu_percent, 200.0);
+  }
+  // Sample timestamps advance by tau.
+  EXPECT_NEAR(result.samples[1].t_seconds - result.samples[0].t_seconds,
+              plan.tau_seconds, 1e-9);
+}
+
+TEST_F(LmbenchTest, ThroughputFollowsTheRampWhileUnderCapacity) {
+  workload::PhasedPlan plan;
+  plan.tau_seconds = 0.1;
+  plan.total_seconds = 0.9;
+  plan.initial_ops = 20;  // tiny: always under capacity
+
+  CpuUsageMeter meter(8);
+  const auto result = run_dynamic_syscall_bench(*libc_, plan, meter);
+  ASSERT_GE(result.samples.size(), 3u);
+  // Phase 1 doubles the target each period; delivered throughput must grow.
+  EXPECT_GT(result.samples[2].read_kops, result.samples[0].read_kops);
+}
+
+TEST_F(LmbenchTest, DynamicRunWorksUnderZcBackend) {
+  ZcConfig cfg;
+  cfg.quantum = std::chrono::microseconds(10'000);
+  CpuUsageMeter meter(8);
+  cfg.meter = &meter;
+  enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+
+  workload::PhasedPlan plan;
+  plan.tau_seconds = 0.1;
+  plan.total_seconds = 0.6;
+  plan.initial_ops = 100;
+  const auto result = run_dynamic_syscall_bench(*libc_, plan, meter);
+  EXPECT_EQ(result.samples.size(), 6u);
+  EXPECT_GT(result.total_reads + result.total_writes, 0u);
+  // The backend reports worker counts in range.
+  for (const auto& s : result.samples) {
+    EXPECT_LE(s.workers, 4u);
+  }
+  // Detach backend threads from the local meter before it is destroyed.
+  enclave_->set_backend(nullptr);
+}
+
+}  // namespace
+}  // namespace zc::app

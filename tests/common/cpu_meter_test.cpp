@@ -1,0 +1,151 @@
+#include "common/cpu_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace zc {
+namespace {
+
+TEST(ProcStat, ParsesAggregateCpuLine) {
+  const auto t = ProcStatSampler::parse_cpu_line(
+      "cpu  74608 2520 24433 1117073 6176 4054 0 0 0 0");
+  EXPECT_EQ(t.user, 74608u);
+  EXPECT_EQ(t.nice, 2520u);
+  EXPECT_EQ(t.system, 24433u);
+  EXPECT_EQ(t.idle, 1117073u);
+  EXPECT_EQ(t.busy(), 74608u + 2520u + 24433u);
+}
+
+TEST(ProcStat, RejectsMalformedLine) {
+  EXPECT_THROW(ProcStatSampler::parse_cpu_line("bogus 1 2 3 4"),
+               std::runtime_error);
+  EXPECT_THROW(ProcStatSampler::parse_cpu_line("cpu"), std::runtime_error);
+}
+
+TEST(ProcStat, UsagePercentMatchesPaperFormula) {
+  ProcStatTimes before{100, 0, 50, 850};   // busy 150, total 1000
+  ProcStatTimes after{200, 0, 100, 1700};  // busy 300, total 2000
+  // delta busy = 150, delta total = 1000 -> 15%
+  EXPECT_DOUBLE_EQ(ProcStatSampler::usage_percent(before, after), 15.0);
+}
+
+TEST(ProcStat, UsagePercentZeroWhenNoTimePassed) {
+  ProcStatTimes t{1, 2, 3, 4};
+  EXPECT_EQ(ProcStatSampler::usage_percent(t, t), 0.0);
+}
+
+TEST(ProcStat, SamplesLiveSystem) {
+  // Must parse without throwing. Some containers report all-zero jiffies,
+  // so only sanity-check the value when the kernel provides one.
+  const auto t = ProcStatSampler::sample();
+  if (t.total() != 0) {
+    EXPECT_GE(t.total(), t.busy());
+  }
+}
+
+TEST(ThreadCpu, AdvancesUnderLoad) {
+  const std::uint64_t before = thread_cpu_ns();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 20'000'000; ++i) sink += i;
+  const std::uint64_t after = thread_cpu_ns();
+  EXPECT_GT(after, before);
+}
+
+TEST(WallClock, IsMonotonic) {
+  const std::uint64_t a = wall_ns();
+  const std::uint64_t b = wall_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(CpuUsageMeter, ZeroCpusClampsToOne) {
+  CpuUsageMeter meter(0);
+  EXPECT_EQ(meter.logical_cpus(), 1u);
+}
+
+TEST(CpuUsageMeter, FreshRegistrationContributesNothing) {
+  CpuUsageMeter meter(4);
+  meter.begin_window();
+  // Register after burning CPU: pre-existing time must not count.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 10'000'000; ++i) sink += i;
+  const auto slot = meter.register_current_thread();
+  meter.checkpoint(slot);
+  EXPECT_EQ(meter.window_cpu_ns(), 0u);
+}
+
+TEST(CpuUsageMeter, CapturesBusyThread) {
+  CpuUsageMeter meter(1);
+  const auto slot = meter.register_current_thread();
+  meter.begin_window();
+  const std::uint64_t start = wall_ns();
+  volatile std::uint64_t sink = 0;
+  while (wall_ns() - start < 50'000'000) sink += 1;  // ~50 ms busy
+  meter.checkpoint(slot);
+  const double pct = meter.window_usage_percent();
+  // A spinning thread on a 1-cpu "machine" should be near 100%.
+  EXPECT_GT(pct, 50.0);
+  EXPECT_LT(pct, 130.0);
+}
+
+TEST(CpuUsageMeter, IdleThreadReportsNearZero) {
+  CpuUsageMeter meter(1);
+  const auto slot = meter.register_current_thread();
+  meter.begin_window();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  meter.checkpoint(slot);
+  EXPECT_LT(meter.window_usage_percent(), 15.0);
+}
+
+TEST(CpuUsageMeter, NormalisesBySimulatedWidth) {
+  CpuUsageMeter meter(8);
+  const auto slot = meter.register_current_thread();
+  meter.begin_window();
+  const std::uint64_t start = wall_ns();
+  volatile std::uint64_t sink = 0;
+  while (wall_ns() - start < 50'000'000) sink += 1;
+  meter.checkpoint(slot);
+  // One busy thread on an 8-wide machine: ~12.5%.
+  const double pct = meter.window_usage_percent();
+  EXPECT_GT(pct, 5.0);
+  EXPECT_LT(pct, 25.0);
+}
+
+TEST(CpuUsageMeter, AggregatesMultipleThreads) {
+  CpuUsageMeter meter(2);
+  meter.begin_window();
+  std::atomic<bool> stop{false};
+  auto busy = [&] {
+    const auto slot = meter.register_current_thread();
+    volatile std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) sink += 1;
+    meter.unregister_current_thread(slot);
+  };
+  std::jthread t1(busy);
+  std::jthread t2(busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  stop.store(true);
+  t1.join();
+  t2.join();
+  // Two busy threads on a 2-wide machine: close to 100%.
+  EXPECT_GT(meter.window_usage_percent(), 50.0);
+}
+
+TEST(CpuUsageMeter, WindowResetsBase) {
+  CpuUsageMeter meter(1);
+  const auto slot = meter.register_current_thread();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 10'000'000; ++i) sink += i;
+  meter.checkpoint(slot);
+  meter.begin_window();
+  meter.checkpoint(slot);
+  // Work done before the window must not appear in it (small slack for the
+  // checkpoint itself).
+  EXPECT_LT(meter.window_cpu_ns(), 5'000'000u);
+}
+
+}  // namespace
+}  // namespace zc

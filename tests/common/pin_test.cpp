@@ -1,0 +1,53 @@
+#include "common/pin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace zc {
+namespace {
+
+TEST(Pin, HostReportsAtLeastOneCpu) {
+  EXPECT_GE(host_logical_cpus(), 1u);
+}
+
+TEST(Pin, PinToCpuZeroSucceeds) {
+  std::jthread t([] {
+    EXPECT_TRUE(pin_current_thread(0));
+    const auto cpu = current_cpu();
+    ASSERT_TRUE(cpu.has_value());
+    EXPECT_EQ(*cpu, 0u);
+  });
+}
+
+TEST(Pin, PinWrapsModuloHostCpus) {
+  std::jthread t([] {
+    // A huge index must wrap rather than fail.
+    EXPECT_TRUE(pin_current_thread(host_logical_cpus() * 3));
+  });
+}
+
+TEST(Pin, WindowOfZeroWidthFails) {
+  EXPECT_FALSE(pin_current_thread_to_window(0, 0));
+}
+
+TEST(Pin, WindowPinKeepsThreadInside) {
+  const unsigned width = std::min(host_logical_cpus(), 4u);
+  std::jthread t([width] {
+    ASSERT_TRUE(pin_current_thread_to_window(0, width));
+    for (int i = 0; i < 100; ++i) {
+      const auto cpu = current_cpu();
+      ASSERT_TRUE(cpu.has_value());
+      EXPECT_LT(*cpu, width);
+    }
+  });
+}
+
+TEST(Pin, WindowWiderThanHostStillSucceeds) {
+  std::jthread t([] {
+    EXPECT_TRUE(pin_current_thread_to_window(0, host_logical_cpus() + 16));
+  });
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,97 @@
+#include "common/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace zc {
+namespace {
+
+TEST(BumpPool, ZeroCapacityThrows) {
+  EXPECT_THROW(BumpPool(0), std::invalid_argument);
+}
+
+TEST(BumpPool, AllocatesWithinCapacity) {
+  BumpPool pool(1024);
+  void* p = pool.allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(pool.owns(p));
+  EXPECT_GE(pool.used(), 100u);
+  EXPECT_LE(pool.used(), pool.capacity());
+}
+
+TEST(BumpPool, RespectsAlignment) {
+  BumpPool pool(4096);
+  ASSERT_NE(pool.allocate(1), nullptr);  // misalign the cursor
+  for (const std::size_t align : {8u, 16u, 64u, 256u}) {
+    void* p = pool.allocate(16, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(BumpPool, FailsWhenFull) {
+  BumpPool pool(256);
+  ASSERT_NE(pool.allocate(200), nullptr);
+  EXPECT_EQ(pool.allocate(200), nullptr);
+  EXPECT_EQ(pool.failed_allocs(), 1u);
+}
+
+TEST(BumpPool, FailsOnOversizedRequest) {
+  BumpPool pool(128);
+  EXPECT_EQ(pool.allocate(1024), nullptr);
+}
+
+TEST(BumpPool, RejectsZeroSizeAndBadAlignment) {
+  BumpPool pool(128);
+  EXPECT_EQ(pool.allocate(0), nullptr);
+  EXPECT_EQ(pool.allocate(8, 0), nullptr);
+  EXPECT_EQ(pool.allocate(8, 3), nullptr);  // non power of two
+  EXPECT_EQ(pool.failed_allocs(), 3u);
+}
+
+TEST(BumpPool, ResetReclaimsEverything) {
+  BumpPool pool(256);
+  ASSERT_NE(pool.allocate(200), nullptr);
+  ASSERT_EQ(pool.allocate(200), nullptr);
+  pool.reset();
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.reset_count(), 1u);
+  EXPECT_NE(pool.allocate(200), nullptr);
+}
+
+TEST(BumpPool, SequentialAllocationsDoNotOverlap) {
+  BumpPool pool(4096);
+  auto* a = static_cast<std::uint8_t*>(pool.allocate(64));
+  auto* b = static_cast<std::uint8_t*>(pool.allocate(64));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(b, a + 64);
+}
+
+TEST(BumpPool, OwnsRejectsForeignPointers) {
+  BumpPool pool(128);
+  int local = 0;
+  EXPECT_FALSE(pool.owns(&local));
+}
+
+TEST(BumpPool, RemainingTracksUsage) {
+  BumpPool pool(1000);
+  EXPECT_EQ(pool.remaining(), 1000u);
+  pool.allocate(100, 1);
+  EXPECT_EQ(pool.remaining(), 900u);
+}
+
+TEST(BumpPool, ExhaustiveFillWithSmallAllocations) {
+  BumpPool pool(1 << 16);
+  std::size_t count = 0;
+  while (pool.allocate(64, 64) != nullptr) ++count;
+  // The buffer's own base alignment may cost one 64-byte slot.
+  EXPECT_GE(count, (1u << 16) / 64 - 1);
+  EXPECT_LE(count, (1u << 16) / 64);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,139 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace zc {
+namespace {
+
+TEST(PaddedCounter, StartsAtZeroAndAdds) {
+  PaddedCounter c;
+  EXPECT_EQ(c.load(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.load(), 42u);
+}
+
+TEST(PaddedCounter, IsCacheLinePadded) {
+  EXPECT_EQ(alignof(PaddedCounter) % 64, 0u);
+  EXPECT_GE(sizeof(PaddedCounter), 64u);
+}
+
+TEST(PaddedCounter, ConcurrentAddsAreLossless) {
+  PaddedCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c] {
+        for (int i = 0; i < kPerThread; ++i) c.add();
+      });
+    }
+  }
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.25);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, HandlesNegativeValues) {
+  RunningStat s;
+  s.add(-10.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(SampleSeries, PercentileOfEmptyThrows) {
+  SampleSeries s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SampleSeries, PercentileOutOfRangeThrows) {
+  SampleSeries s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSeries, NearestRankPercentiles) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(SampleSeries, MeanAndSum) {
+  SampleSeries s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(SampleSeries, MeanOfEmptyIsZero) {
+  SampleSeries s;
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSeries, ClearEmpties) {
+  SampleSeries s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSeries, PercentileDoesNotMutateOrder) {
+  SampleSeries s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  (void)s.median();
+  EXPECT_EQ(s.raw()[0], 3.0);
+  EXPECT_EQ(s.raw()[1], 1.0);
+  EXPECT_EQ(s.raw()[2], 2.0);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace zc {
+namespace {
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // header + rule + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.add_row({"wiiiiiide"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // The rule line must be at least as wide as the widest cell.
+  const auto rule_start = out.find('\n') + 1;
+  const auto rule_end = out.find('\n', rule_start);
+  EXPECT_GE(rule_end - rule_start, std::string("wiiiiiide").size());
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,175 @@
+// Switchless ecalls: the paper's techniques applied in the opposite
+// direction (§II) — trusted workers inside the enclave serve calls from
+// untrusted client threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/zc_backend.hpp"
+#include "intel_sl/intel_backend.hpp"
+
+namespace zc {
+namespace {
+
+struct SquareArgs {
+  int in = 0;
+  int out = 0;
+};
+
+class EcallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 5'000;
+    cfg.logical_cpus = 8;
+    enclave_ = Enclave::create(cfg);
+    square_id_ =
+        enclave_->ecalls().register_fn("square", [](MarshalledCall& call) {
+          auto* a = static_cast<SquareArgs*>(call.args);
+          a->out = a->in * a->in;
+        });
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::uint32_t square_id_ = 0;
+};
+
+TEST_F(EcallTest, EcallAndOcallTablesAreIndependent) {
+  EXPECT_EQ(enclave_->ecalls().size(), 1u);
+  EXPECT_EQ(enclave_->ocalls().size(), 0u);
+  EXPECT_EQ(enclave_->ecalls().name(square_id_), "square");
+}
+
+TEST_F(EcallTest, RegularEcallPaysOneRoundTrip) {
+  SquareArgs args;
+  args.in = 12;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kRegular);
+  EXPECT_EQ(args.out, 144);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 1u);
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "no_sl-ecall");
+}
+
+TEST_F(EcallTest, ZcEcallBackendServesSwitchlessly) {
+  ZcConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(2);
+  enclave_->set_ecall_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc-ecall");
+
+  SquareArgs args;
+  args.in = 9;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 81);
+  // No transition at all: trusted workers served the request.
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
+  EXPECT_EQ(enclave_->transitions().eenter_count(), 0u);
+}
+
+TEST_F(EcallTest, ZcEcallFallsBackWhenNoWorkers) {
+  ZcConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(0);
+  enclave_->set_ecall_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+  SquareArgs args;
+  args.in = 3;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kFallback);
+  EXPECT_EQ(args.out, 9);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 1u);  // fallback paid
+}
+
+TEST_F(EcallTest, IntelSwitchlessEcallsWork) {
+  intel::IntelSlConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  cfg.num_workers = 2;  // num_tworkers
+  cfg.switchless_fns = {square_id_};
+  enclave_->set_ecall_backend(
+      std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
+  SquareArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 49);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
+}
+
+TEST_F(EcallTest, IntelEcallOutsideStaticSetPaysTransition) {
+  const auto other_id =
+      enclave_->ecalls().register_fn("nop", [](MarshalledCall&) {});
+  intel::IntelSlConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  cfg.num_workers = 2;
+  cfg.switchless_fns = {square_id_};  // nop is not selected
+  enclave_->set_ecall_backend(
+      std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
+  SquareArgs args;
+  EXPECT_EQ(enclave_->ecall_fn(other_id, args), CallPath::kRegular);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 1u);
+}
+
+TEST_F(EcallTest, ConcurrentUntrustedClients) {
+  ZcConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(4);
+  enclave_->set_ecall_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> clients;
+    for (int t = 0; t < 8; ++t) {
+      clients.emplace_back([&, t] {
+        for (int i = 0; i < 500; ++i) {
+          SquareArgs args;
+          args.in = t + i;
+          enclave_->ecall_fn(square_id_, args);
+          if (args.out != (t + i) * (t + i)) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(EcallTest, BothDirectionsCoexist) {
+  // Switchless ocalls and switchless ecalls on the same enclave.
+  const auto echo_id =
+      enclave_->ocalls().register_fn("echo", [](MarshalledCall& call) {
+        static_cast<SquareArgs*>(call.args)->out = 1;
+      });
+  ZcConfig out_cfg;
+  out_cfg.scheduler_enabled = false;
+  out_cfg.with_initial_workers(1);
+  enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, out_cfg));
+
+  ZcConfig in_cfg;
+  in_cfg.direction = CallDirection::kEcall;
+  in_cfg.scheduler_enabled = false;
+  in_cfg.with_initial_workers(1);
+  enclave_->set_ecall_backend(std::make_unique<ZcBackend>(*enclave_, in_cfg));
+
+  SquareArgs args;
+  args.in = 5;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 25);
+  EXPECT_EQ(enclave_->ocall(echo_id, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 1);
+  EXPECT_EQ(enclave_->transitions().eexit_count(), 0u);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
+}
+
+TEST_F(EcallTest, SetEcallBackendNullRestoresRegular) {
+  ZcConfig cfg;
+  cfg.direction = CallDirection::kEcall;
+  enclave_->set_ecall_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+  enclave_->set_ecall_backend(nullptr);
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "no_sl-ecall");
+  SquareArgs args;
+  args.in = 2;
+  EXPECT_EQ(enclave_->ecall_fn(square_id_, args), CallPath::kRegular);
+  EXPECT_EQ(args.out, 4);
+}
+
+}  // namespace
+}  // namespace zc

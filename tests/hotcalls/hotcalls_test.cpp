@@ -1,0 +1,167 @@
+#include "hotcalls/hotcalls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/cpu_meter.hpp"
+#include "common/cycles.hpp"
+
+namespace zc::hotcalls {
+namespace {
+
+struct IncArgs {
+  int x = 0;
+};
+
+class HotCallsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 5'000;
+    enclave_ = Enclave::create(cfg);
+    inc_id_ = enclave_->ocalls().register_fn("inc", [](MarshalledCall& call) {
+      static_cast<IncArgs*>(call.args)->x += 1;
+    });
+  }
+
+  HotCallsBackend* install(HotCallsConfig cfg = {}) {
+    auto backend = std::make_unique<HotCallsBackend>(*enclave_, cfg);
+    auto* raw = backend.get();
+    enclave_->set_backend(std::move(backend));
+    return raw;
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::uint32_t inc_id_ = 0;
+};
+
+TEST_F(HotCallsTest, EveryCallIsSwitchless) {
+  auto* backend = install();
+  IncArgs args;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(enclave_->ocall(inc_id_, args), CallPath::kSwitchless);
+  }
+  EXPECT_EQ(args.x, 100);
+  EXPECT_EQ(backend->stats().switchless_calls.load(), 100u);
+  EXPECT_EQ(enclave_->transitions().eexit_count(), 0u);  // never transitions
+}
+
+TEST_F(HotCallsTest, ZeroWorkersDegradesToRegular) {
+  HotCallsConfig cfg;
+  cfg.num_workers = 0;
+  install(cfg);
+  IncArgs args;
+  EXPECT_EQ(enclave_->ocall(inc_id_, args), CallPath::kRegular);
+  EXPECT_EQ(args.x, 1);
+}
+
+TEST_F(HotCallsTest, OversizedFrameFallsBack) {
+  HotCallsConfig cfg;
+  cfg.slot_frame_bytes = 64;
+  install(cfg);
+  IncArgs args;
+  std::vector<char> big(4096, 'x');
+  EXPECT_EQ(enclave_->ocall_in(inc_id_, args, big.data(), big.size()),
+            CallPath::kFallback);
+  EXPECT_EQ(args.x, 1);
+}
+
+TEST_F(HotCallsTest, ContendedCallersAllComplete) {
+  HotCallsConfig cfg;
+  cfg.num_workers = 2;
+  auto* backend = install(cfg);
+  std::atomic<int> executed{0};
+  const auto count_id = enclave_->ocalls().register_fn(
+      "count", [&executed](MarshalledCall&) { executed.fetch_add(1); });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        IncArgs args;
+        for (int i = 0; i < kPerThread; ++i) enclave_->ocall(count_id, args);
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), kThreads * kPerThread);
+  // HotCalls never falls back on contention: everything was switchless.
+  EXPECT_EQ(backend->stats().switchless_calls.load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 0u);
+}
+
+TEST_F(HotCallsTest, RespondersNeverSleep) {
+  CpuUsageMeter meter(8);
+  HotCallsConfig cfg;
+  cfg.num_workers = 2;
+  cfg.meter = &meter;
+  install(cfg);
+  meter.begin_window();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Two always-hot responders on an 8-wide machine: ~25% CPU while idle —
+  // the CPU-waste profile ZC's scheduler exists to avoid.
+  EXPECT_GT(meter.window_usage_percent(), 10.0);
+  enclave_->set_backend(nullptr);  // detach before the meter dies
+}
+
+TEST_F(HotCallsTest, PayloadRoundTrip) {
+  install();
+  const auto upper_id = enclave_->ocalls().register_fn(
+      "upper", [](MarshalledCall& call) {
+        auto* p = static_cast<char*>(call.payload);
+        for (std::size_t i = 0; i < call.payload_size; ++i) {
+          p[i] = static_cast<char>(p[i] - 'a' + 'A');
+        }
+      });
+  IncArgs args;
+  std::string in = "hotcalls";
+  std::string out(in.size(), '\0');
+  CallDesc desc;
+  desc.fn_id = upper_id;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_payload = in.data();
+  desc.in_size = in.size();
+  desc.out_payload = out.data();
+  desc.out_size = out.size();
+  EXPECT_EQ(enclave_->ocall(desc), CallPath::kSwitchless);
+  EXPECT_EQ(out, "HOTCALLS");
+}
+
+TEST_F(HotCallsTest, StopIsIdempotentAndRoutesRegular) {
+  auto* backend = install();
+  backend->stop();
+  backend->stop();
+  IncArgs args;
+  EXPECT_EQ(enclave_->ocall(inc_id_, args), CallPath::kRegular);
+  EXPECT_EQ(backend->active_workers(), 0u);
+}
+
+TEST_F(HotCallsTest, FasterThanRegularForShortCalls) {
+  IncArgs args;
+  // Best-case single-call latency: the minimum over many calls is robust
+  // to scheduler noise from parallel test binaries.
+  auto best_call_ns = [&]() {
+    enclave_->ocall(inc_id_, args);  // warm
+    std::uint64_t best = ~0ULL;
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t t0 = wall_ns();
+      enclave_->ocall(inc_id_, args);
+      best = std::min(best, wall_ns() - t0);
+    }
+    return best;
+  };
+  const std::uint64_t regular = best_call_ns();
+  install();
+  const std::uint64_t hot = best_call_ns();
+  // A hot call skips the 5,000-cycle transition; its floor must be lower.
+  EXPECT_LT(hot, regular) << "hot=" << hot << "ns regular=" << regular << "ns";
+}
+
+}  // namespace
+}  // namespace zc::hotcalls

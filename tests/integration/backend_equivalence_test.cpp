@@ -1,0 +1,136 @@
+// Functional equivalence across backends: the same application run must
+// produce identical results under no_sl, Intel switchless, and ZC — the
+// backends may only differ in *how* ocalls execute, never in what they do.
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apps/crypto/file_crypto.hpp"
+#include "apps/kissdb/kissdb.hpp"
+#include "core/zc_backend.hpp"
+#include "tlibc/memcpy.hpp"
+#include "workload/harness.hpp"
+
+namespace zc {
+namespace {
+
+enum class Backend { kNoSl, kIntel2, kZc };
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kNoSl:
+      return "no_sl";
+    case Backend::kIntel2:
+      return "intel2";
+    case Backend::kZc:
+      return "zc";
+  }
+  return "?";
+}
+
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Backend, tlibc::MemcpyKind>> {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 200;
+    enclave_ = Enclave::create(cfg);
+    libc_ = std::make_unique<EnclaveLibc>(*enclave_);
+    base_ = testutil::unique_tmp_path("zc_equiv");
+    install();
+  }
+  void TearDown() override {
+    for (const auto& suffix : {".db", ".plain", ".cipher", ".out"}) {
+      std::filesystem::remove(base_.string() + suffix);
+    }
+  }
+
+  void install() {
+    switch (std::get<0>(GetParam())) {
+      case Backend::kNoSl:
+        break;  // default
+      case Backend::kIntel2: {
+        intel::IntelSlConfig cfg;
+        cfg.num_workers = 2;
+        // Make the stdio ocalls switchless, like i-all in the paper.
+        for (std::uint32_t id = 0; id < enclave_->ocalls().size(); ++id) {
+          cfg.switchless_fns.insert(id);
+        }
+        enclave_->set_backend(
+            std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
+        break;
+      }
+      case Backend::kZc: {
+        ZcConfig cfg;
+        cfg.quantum = std::chrono::microseconds(5'000);
+        enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::unique_ptr<EnclaveLibc> libc_;
+  std::filesystem::path base_;
+};
+
+TEST_P(BackendEquivalenceTest, KissdbContentsIdentical) {
+  tlibc::ScopedMemcpy guard(std::get<1>(GetParam()));
+  app::KissDB db;
+  app::KissDB::Options opts;
+  opts.hash_table_size = 64;
+  ASSERT_EQ(db.open(*libc_, base_.string() + ".db", opts), app::KissDB::kOk);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    std::uint64_t key = i;
+    std::uint64_t value = i * 2654435761u;
+    ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  }
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    std::uint64_t key = i;
+    std::uint64_t out = 0;
+    ASSERT_EQ(db.get(&key, &out), app::KissDB::kOk) << i;
+    EXPECT_EQ(out, i * 2654435761u);
+  }
+}
+
+TEST_P(BackendEquivalenceTest, FileCryptoRoundTripIdentical) {
+  tlibc::ScopedMemcpy guard(std::get<1>(GetParam()));
+  const std::string plain = base_.string() + ".plain";
+  const std::string cipher = base_.string() + ".cipher";
+  const std::string out = base_.string() + ".out";
+  std::vector<std::uint8_t> data(60'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  {
+    std::ofstream f(plain, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  }
+  std::uint8_t key[32] = {0x42};
+  std::uint8_t iv[16] = {0x24};
+  ASSERT_TRUE(app::encrypt_file(*libc_, plain, cipher, key, iv, 4096).ok);
+  ASSERT_TRUE(app::decrypt_file(*libc_, cipher, out, key, iv, 4096).ok);
+  std::ifstream f(out, std::ios::binary);
+  std::vector<std::uint8_t> back{std::istreambuf_iterator<char>(f),
+                                 std::istreambuf_iterator<char>()};
+  EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndMemcpys, BackendEquivalenceTest,
+    ::testing::Combine(::testing::Values(Backend::kNoSl, Backend::kIntel2,
+                                         Backend::kZc),
+                       ::testing::Values(tlibc::MemcpyKind::kIntel,
+                                         tlibc::MemcpyKind::kZc)),
+    [](const auto& info) {
+      return backend_name(std::get<0>(info.param)) + "_" +
+             tlibc::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace zc

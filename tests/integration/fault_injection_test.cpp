@@ -1,0 +1,146 @@
+// Failure injection: a flaky untrusted world (short reads, failed writes)
+// must surface as clean application-level errors — never corruption, hangs
+// or crashes — regardless of the installed switchless backend.
+#include <gtest/gtest.h>
+
+#include "apps/crypto/file_crypto.hpp"
+#include "apps/kissdb/kissdb.hpp"
+#include "apps/lmbench/lat_syscall.hpp"
+#include "core/zc_backend.hpp"
+#include "sgx/sim_fs.hpp"
+
+#include <fcntl.h>
+
+namespace zc {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimFs::instance().clear();
+    SimFs::instance().set_syscall_cycles(0);
+    SimConfig cfg;
+    cfg.tes_cycles = 100;
+    enclave_ = Enclave::create(cfg);
+    libc_ = std::make_unique<EnclaveLibc>(*enclave_, IoMode::kSimulated);
+  }
+  void TearDown() override {
+    SimFs::instance().clear();
+    SimFs::instance().set_syscall_cycles(250);
+  }
+
+  void use_zc() {
+    ZcConfig cfg;
+    cfg.scheduler_enabled = false;
+    cfg.with_initial_workers(2);
+    enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::unique_ptr<EnclaveLibc> libc_;
+};
+
+TEST_F(FaultInjectionTest, InjectionCounterDrains) {
+  SimFs::instance().fail_next_ops(3);
+  EXPECT_EQ(SimFs::instance().pending_failures(), 3u);
+  const int fd = libc_->open("/dev/zero", O_RDONLY);
+  std::uint64_t word = 0;
+  EXPECT_EQ(libc_->read(fd, &word, 8), -1);
+  EXPECT_EQ(libc_->read(fd, &word, 8), -1);
+  EXPECT_EQ(libc_->read(fd, &word, 8), -1);
+  EXPECT_EQ(SimFs::instance().pending_failures(), 0u);
+  EXPECT_EQ(libc_->read(fd, &word, 8), 8);  // recovered
+  libc_->close(fd);
+}
+
+TEST_F(FaultInjectionTest, KissdbPutReportsIoError) {
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+
+  SimFs::instance().fail_next_ops(1);  // next fwrite fails
+  key = 3;
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+
+  // The store recovers once the fault clears and old data is intact.
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(FaultInjectionTest, KissdbGetReportsMalformedOnShortRead) {
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 7;
+  std::uint64_t value = 8;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);  // the key fread comes back short
+  std::uint64_t out = 0;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kErrorMalformed);
+}
+
+TEST_F(FaultInjectionTest, EncryptFailsCleanlyMidStream) {
+  // 64 KiB plaintext via the sim world.
+  {
+    TFile f = libc_->fopen("plain", "wb");
+    std::vector<char> data(64 * 1024, 'p');
+    ASSERT_EQ(f.write(data.data(), data.size()), data.size());
+  }
+  std::uint8_t key[32] = {1};
+  std::uint8_t iv[16] = {2};
+  const auto warm = app::encrypt_file(*libc_, "plain", "out", key, iv, 4096);
+  ASSERT_TRUE(warm.ok);
+
+  // A failing stream (the fread comes back short AND the subsequent final
+  // fwrite fails) must abort with ok == false, not fabricate output.
+  SimFs::instance().fail_next_ops(4);
+  const auto enc = app::encrypt_file(*libc_, "plain", "out2", key, iv, 4096);
+  EXPECT_FALSE(enc.ok);
+}
+
+TEST_F(FaultInjectionTest, DecryptFailsCleanlyOnShortRead) {
+  {
+    TFile f = libc_->fopen("plain", "wb");
+    std::vector<char> data(32 * 1024, 'q');
+    ASSERT_EQ(f.write(data.data(), data.size()), data.size());
+  }
+  std::uint8_t key[32] = {1};
+  std::uint8_t iv[16] = {2};
+  ASSERT_TRUE(app::encrypt_file(*libc_, "plain", "cipher", key, iv, 4096).ok);
+  SimFs::instance().fail_next_ops(2);
+  const auto dec = app::decrypt_file(*libc_, "cipher", "", key, iv, 4096);
+  EXPECT_FALSE(dec.ok);
+}
+
+TEST_F(FaultInjectionTest, LmbenchLoopsStopOnFailure) {
+  const int fd = libc_->open("/dev/zero", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  SimFs::instance().fail_next_ops(1);
+  // The loop detects the failed op and returns how far it got.
+  EXPECT_EQ(app::read_words(*libc_, fd, 10), 0u);
+  EXPECT_EQ(app::read_words(*libc_, fd, 10), 10u);
+  libc_->close(fd);
+}
+
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderSwitchlessWorkers) {
+  use_zc();
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
+  // The failure surfaces identically even though a worker ran the ocall.
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,121 @@
+#include "intel_sl/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace zc::intel {
+namespace {
+
+TEST(TaskPool, ZeroSlotsThrows) {
+  EXPECT_THROW(TaskPool(0, 64), std::invalid_argument);
+}
+
+TEST(TaskPool, SlotsStartFreeWithFrames) {
+  TaskPool pool(4, 128);
+  EXPECT_EQ(pool.size(), 4u);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.slot(i).status.load(), TaskStatus::kFree);
+    EXPECT_NE(pool.slot(i).frame, nullptr);
+    EXPECT_EQ(pool.slot(i).frame_capacity, 128u);
+  }
+}
+
+TEST(TaskPool, ClaimTakesEachSlotOnce) {
+  TaskPool pool(3, 64);
+  std::vector<TaskSlot*> claimed;
+  for (int i = 0; i < 3; ++i) {
+    TaskSlot* s = pool.claim();
+    ASSERT_NE(s, nullptr);
+    claimed.push_back(s);
+  }
+  EXPECT_EQ(pool.claim(), nullptr);  // full
+  // All distinct.
+  EXPECT_NE(claimed[0], claimed[1]);
+  EXPECT_NE(claimed[1], claimed[2]);
+  EXPECT_NE(claimed[0], claimed[2]);
+}
+
+TEST(TaskPool, AcceptOnlySeesSubmitted) {
+  TaskPool pool(2, 64);
+  EXPECT_EQ(pool.accept(), nullptr);  // nothing submitted
+  TaskSlot* s = pool.claim();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(pool.accept(), nullptr);  // claimed is not submitted
+  s->status.store(TaskStatus::kSubmitted);
+  TaskSlot* got = pool.accept();
+  EXPECT_EQ(got, s);
+  EXPECT_EQ(got->status.load(), TaskStatus::kAccepted);
+  EXPECT_EQ(pool.accept(), nullptr);  // accepted exactly once
+}
+
+TEST(TaskPool, PendingCountsSubmittedOnly) {
+  TaskPool pool(4, 64);
+  EXPECT_EQ(pool.pending(), 0u);
+  pool.slot(0).status.store(TaskStatus::kSubmitted);
+  pool.slot(1).status.store(TaskStatus::kSubmitted);
+  pool.slot(2).status.store(TaskStatus::kAccepted);
+  EXPECT_EQ(pool.pending(), 2u);
+}
+
+TEST(TaskPool, FreeingASlotMakesItClaimableAgain) {
+  TaskPool pool(1, 64);
+  TaskSlot* s = pool.claim();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(pool.claim(), nullptr);
+  s->status.store(TaskStatus::kFree);
+  EXPECT_EQ(pool.claim(), s);
+}
+
+TEST(TaskPool, ConcurrentClaimsNeverAlias) {
+  TaskPool pool(8, 64);
+  std::vector<TaskSlot*> results(16, nullptr);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 16; ++t) {
+      threads.emplace_back([&pool, &results, t] {
+        results[static_cast<std::size_t>(t)] = pool.claim();
+      });
+    }
+  }
+  int claimed = 0;
+  std::vector<TaskSlot*> seen;
+  for (TaskSlot* s : results) {
+    if (s != nullptr) {
+      ++claimed;
+      for (TaskSlot* other : seen) EXPECT_NE(s, other);
+      seen.push_back(s);
+    }
+  }
+  EXPECT_EQ(claimed, 8);  // exactly the pool size
+}
+
+TEST(TaskPool, ConcurrentAcceptsAreExclusive) {
+  TaskPool pool(4, 64);
+  for (std::size_t i = 0; i < 4; ++i) {
+    pool.slot(i).status.store(TaskStatus::kSubmitted);
+  }
+  std::vector<TaskSlot*> results(8, nullptr);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&pool, &results, t] {
+        results[static_cast<std::size_t>(t)] = pool.accept();
+      });
+    }
+  }
+  int accepted = 0;
+  for (TaskSlot* s : results) {
+    if (s != nullptr) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+}
+
+TEST(TaskPool, SlotsAreCacheLineAligned) {
+  EXPECT_EQ(alignof(TaskSlot) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace zc::intel

@@ -1,0 +1,116 @@
+#include "sgx/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace zc {
+namespace {
+
+constexpr std::uint64_t kTes = 13'500;
+
+OcallTable three_fns() {
+  OcallTable t;
+  t.register_fn("hot_short", [](MarshalledCall&) {});
+  t.register_fn("hot_long", [](MarshalledCall&) {});
+  t.register_fn("rare_short", [](MarshalledCall&) {});
+  return t;
+}
+
+TEST(Advisor, EmptyProfileYieldsEmptyReport) {
+  CallProfiler prof;
+  const auto names = three_fns();
+  const auto report = advise_switchless(prof, names, kTes);
+  EXPECT_TRUE(report.per_fn.empty());
+  EXPECT_TRUE(report.switchless_set.empty());
+  EXPECT_EQ(report.workers_hint, 0u);
+}
+
+TEST(Advisor, RecommendsShortFrequentCalls) {
+  CallProfiler prof;
+  const auto names = three_fns();
+  // fn 0: 1000 regular calls, ~Tes + 500 cycles each -> body ≈ 500 (short).
+  for (int i = 0; i < 1000; ++i) {
+    prof.record(0, CallPath::kRegular, kTes + 500);
+  }
+  // fn 1: 1000 regular calls with a 100k-cycle body (long).
+  for (int i = 0; i < 1000; ++i) {
+    prof.record(1, CallPath::kRegular, kTes + 100'000);
+  }
+  // fn 2: 5 short calls (rare: 0.25% of total).
+  for (int i = 0; i < 5; ++i) {
+    prof.record(2, CallPath::kRegular, kTes + 100);
+  }
+  const auto report = advise_switchless(prof, names, kTes);
+  ASSERT_EQ(report.per_fn.size(), 3u);
+  EXPECT_EQ(report.switchless_set, std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(report.per_fn[0].make_switchless);
+  EXPECT_FALSE(report.per_fn[1].make_switchless);
+  EXPECT_FALSE(report.per_fn[2].make_switchless);
+  EXPECT_NE(report.per_fn[1].reason.find("too long"), std::string::npos);
+  EXPECT_NE(report.per_fn[2].reason.find("rare"), std::string::npos);
+  EXPECT_GE(report.workers_hint, 1u);
+}
+
+TEST(Advisor, SubtractsTransitionCostForSwitchlessSamples) {
+  // Calls observed *switchless* have no transition baked into their cost:
+  // mean 12,000 cycles of pure body is NOT short relative to Tes=13,500
+  // times a 0.5 ratio policy.
+  CallProfiler prof;
+  const auto names = three_fns();
+  for (int i = 0; i < 100; ++i) {
+    prof.record(0, CallPath::kSwitchless, 12'000);
+  }
+  AdvisorPolicy strict;
+  strict.short_call_tes_ratio = 0.5;  // bar: 6,750 cycles
+  const auto report = advise_switchless(prof, names, kTes, strict);
+  EXPECT_FALSE(report.per_fn[0].make_switchless);
+
+  // The same observed mean on *regular* calls implies body ≈ 0: short.
+  CallProfiler prof2;
+  for (int i = 0; i < 100; ++i) {
+    prof2.record(0, CallPath::kRegular, 12'000);
+  }
+  const auto report2 = advise_switchless(prof2, names, kTes, strict);
+  EXPECT_TRUE(report2.per_fn[0].make_switchless);
+}
+
+TEST(Advisor, CallShareThresholdIsConfigurable) {
+  CallProfiler prof;
+  const auto names = three_fns();
+  for (int i = 0; i < 99; ++i) prof.record(0, CallPath::kRegular, kTes);
+  prof.record(2, CallPath::kRegular, kTes);  // 1% of calls
+  AdvisorPolicy lenient;
+  lenient.min_call_share = 0.005;
+  const auto report = advise_switchless(prof, names, kTes, lenient);
+  EXPECT_EQ(report.switchless_set.size(), 2u);
+
+  AdvisorPolicy strict;
+  strict.min_call_share = 0.05;
+  const auto strict_report = advise_switchless(prof, names, kTes, strict);
+  EXPECT_EQ(strict_report.switchless_set,
+            std::vector<std::uint32_t>{0});
+}
+
+TEST(Advisor, WorkersHintIsCappedByPolicy) {
+  CallProfiler prof;
+  const auto names = three_fns();
+  for (int i = 0; i < 1000; ++i) prof.record(0, CallPath::kRegular, kTes);
+  AdvisorPolicy policy;
+  policy.max_workers_hint = 2;
+  const auto report = advise_switchless(prof, names, kTes, policy);
+  EXPECT_GE(report.workers_hint, 1u);
+  EXPECT_LE(report.workers_hint, 2u);
+}
+
+TEST(Advisor, NamesResolveFromTable) {
+  CallProfiler prof;
+  const auto names = three_fns();
+  prof.record(1, CallPath::kRegular, kTes);
+  const auto report = advise_switchless(prof, names, kTes);
+  ASSERT_EQ(report.per_fn.size(), 1u);
+  EXPECT_EQ(report.per_fn[0].name, "hot_long");
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,62 @@
+#include "sgx/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace zc {
+namespace {
+
+TEST(ScratchArena, ProvidesRequestedCapacity) {
+  ScratchArena arena(1024);
+  EXPECT_EQ(arena.capacity(), 1024u);
+  void* p = arena.acquire(512);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 512);  // must be writable
+}
+
+TEST(ScratchArena, GrowsBeyondInitialReservation) {
+  ScratchArena arena(64);
+  void* p = arena.acquire(10'000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.capacity(), 10'000u);
+  std::memset(p, 0, 10'000);
+}
+
+TEST(ScratchArena, GrowthIsGeometric) {
+  ScratchArena arena(100);
+  arena.acquire(101);
+  const std::size_t first_growth = arena.capacity();
+  EXPECT_GE(first_growth, 200u);  // at least doubles
+}
+
+TEST(ScratchArena, ReusesBufferForSmallerRequests) {
+  ScratchArena arena(4096);
+  void* a = arena.acquire(1000);
+  void* b = arena.acquire(500);
+  EXPECT_EQ(a, b);  // same buffer, no reallocation
+  EXPECT_EQ(arena.capacity(), 4096u);
+}
+
+TEST(ScratchArena, ThreadLocalInstancesAreDistinct) {
+  void* main_ptr = ScratchArena::for_current_thread().acquire(64);
+  void* other_ptr = nullptr;
+  std::jthread t([&other_ptr] {
+    other_ptr = ScratchArena::for_current_thread().acquire(64);
+  });
+  t.join();
+  EXPECT_NE(main_ptr, nullptr);
+  EXPECT_NE(other_ptr, nullptr);
+  EXPECT_NE(main_ptr, other_ptr);
+}
+
+TEST(ScratchArena, ThreadLocalPersistsAcrossCalls) {
+  void* a = ScratchArena::for_current_thread().acquire(128);
+  void* b = ScratchArena::for_current_thread().acquire(128);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,195 @@
+#include "sgx/marshal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tlibc/memcpy.hpp"
+
+namespace zc {
+namespace {
+
+struct DemoArgs {
+  std::int32_t x = 0;
+  std::int64_t ret = 0;
+};
+
+TEST(Marshal, FrameBytesCoversHeaderArgsAndPayload) {
+  DemoArgs args;
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  EXPECT_GE(frame_bytes(desc), sizeof(FrameHeader) + sizeof(args));
+
+  desc.in_size = 100;
+  static char buf[100];
+  desc.in_payload = buf;
+  EXPECT_GE(frame_bytes(desc), sizeof(FrameHeader) + sizeof(args) + 100);
+}
+
+TEST(Marshal, PayloadCapacityIsMaxOfInOut) {
+  CallDesc desc;
+  desc.in_size = 64;
+  desc.out_size = 256;
+  EXPECT_EQ(desc.payload_capacity(), 256u);
+  desc.in_size = 512;
+  EXPECT_EQ(desc.payload_capacity(), 512u);
+}
+
+TEST(Marshal, ArgsRoundTrip) {
+  DemoArgs args;
+  args.x = 7;
+  CallDesc desc;
+  desc.fn_id = 3;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+
+  // The marshalled copy is a *copy*: mutating it must not touch trusted
+  // memory until unmarshal.
+  auto* umargs = static_cast<DemoArgs*>(call.args);
+  EXPECT_EQ(umargs->x, 7);
+  umargs->ret = 99;
+  EXPECT_EQ(args.ret, 0);
+
+  unmarshal_from(call, desc);
+  EXPECT_EQ(args.ret, 99);
+}
+
+TEST(Marshal, InPayloadIsCopiedOut) {
+  DemoArgs args;
+  const std::string payload = "sensitive-plaintext";
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_payload = payload.data();
+  desc.in_size = payload.size();
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_NE(call.payload, nullptr);
+  EXPECT_EQ(call.payload_size, payload.size());
+  EXPECT_EQ(std::memcmp(call.payload, payload.data(), payload.size()), 0);
+}
+
+TEST(Marshal, OutPayloadIsCopiedBack) {
+  DemoArgs args;
+  std::vector<char> out(32, '\0');
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.out_payload = out.data();
+  desc.out_size = out.size();
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  std::memset(call.payload, 'Z', call.payload_size);
+  unmarshal_from(call, desc);
+  for (char c : out) EXPECT_EQ(c, 'Z');
+}
+
+TEST(Marshal, BidirectionalPayloadSharesOneArea) {
+  DemoArgs args;
+  const std::string in = "ping";
+  std::vector<char> out(in.size(), '\0');
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_payload = in.data();
+  desc.in_size = in.size();
+  desc.out_payload = out.data();
+  desc.out_size = out.size();
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  // Handler upper-cases in place.
+  auto* p = static_cast<char*>(call.payload);
+  for (std::size_t i = 0; i < call.payload_size; ++i) {
+    p[i] = static_cast<char>(p[i] - 'a' + 'A');
+  }
+  unmarshal_from(call, desc);
+  EXPECT_EQ(std::string(out.begin(), out.end()), "PING");
+}
+
+TEST(Marshal, FrameViewReconstructsMarshalledLayout) {
+  DemoArgs args;
+  args.x = 123;
+  const std::string payload = "payload-bytes";
+  CallDesc desc;
+  desc.fn_id = 9;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_payload = payload.data();
+  desc.in_size = payload.size();
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall original = marshal_into(mem.data(), desc);
+  MarshalledCall view = frame_view(mem.data());
+  EXPECT_EQ(view.args, original.args);
+  EXPECT_EQ(view.args_size, original.args_size);
+  EXPECT_EQ(view.payload, original.payload);
+  EXPECT_EQ(view.payload_size, original.payload_size);
+
+  auto* header = reinterpret_cast<FrameHeader*>(mem.data());
+  EXPECT_EQ(header->fn_id, 9u);
+  EXPECT_EQ(header->args_size, sizeof(args));
+}
+
+TEST(Marshal, NoPayloadYieldsNullPayloadPointer) {
+  DemoArgs args;
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  EXPECT_EQ(call.payload, nullptr);
+  EXPECT_EQ(call.payload_size, 0u);
+}
+
+TEST(Marshal, ArgsAreAlignedTo16) {
+  DemoArgs args;
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  alignas(64) std::byte mem[256];
+  MarshalledCall call = marshal_into(mem, desc);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(call.args) % 16, 0u);
+}
+
+class MarshalMemcpyKind : public ::testing::TestWithParam<tlibc::MemcpyKind> {};
+
+TEST_P(MarshalMemcpyKind, RoundTripIdenticalUnderBothMemcpys) {
+  tlibc::ScopedMemcpy guard(GetParam());
+  DemoArgs args;
+  args.x = -5;
+  std::vector<char> out(1031, '\0');  // odd size: exercises unaligned paths
+  std::vector<char> in(1031);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<char>(i * 17);
+  }
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_payload = in.data();
+  desc.in_size = in.size();
+  desc.out_payload = out.data();
+  desc.out_size = out.size();
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  unmarshal_from(call, desc);
+  EXPECT_EQ(out, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, MarshalMemcpyKind,
+                         ::testing::Values(tlibc::MemcpyKind::kIntel,
+                                           tlibc::MemcpyKind::kZc),
+                         [](const auto& info) {
+                           return std::string(tlibc::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,71 @@
+#include "sgx/ocall_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace zc {
+namespace {
+
+TEST(OcallTable, RegistersSequentialIds) {
+  OcallTable table;
+  const auto a = table.register_fn("a", [](MarshalledCall&) {});
+  const auto b = table.register_fn("b", [](MarshalledCall&) {});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(OcallTable, RejectsNullHandler) {
+  OcallTable table;
+  EXPECT_THROW(table.register_fn("bad", OcallHandler{}),
+               std::invalid_argument);
+}
+
+TEST(OcallTable, DispatchInvokesHandlerWithCall) {
+  OcallTable table;
+  int hits = 0;
+  const auto id = table.register_fn("probe", [&hits](MarshalledCall& call) {
+    ++hits;
+    *static_cast<int*>(call.args) += 1;
+  });
+  int value = 41;
+  MarshalledCall call;
+  call.args = &value;
+  call.args_size = sizeof(value);
+  table.dispatch(id, call);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(value, 42);
+}
+
+TEST(OcallTable, DispatchOutOfRangeThrows) {
+  OcallTable table;
+  MarshalledCall call;
+  EXPECT_THROW(table.dispatch(0, call), std::out_of_range);
+  table.register_fn("x", [](MarshalledCall&) {});
+  EXPECT_THROW(table.dispatch(1, call), std::out_of_range);
+}
+
+TEST(OcallTable, NameLookup) {
+  OcallTable table;
+  const auto id = table.register_fn("fseeko", [](MarshalledCall&) {});
+  EXPECT_EQ(table.name(id), "fseeko");
+  EXPECT_THROW(table.name(id + 1), std::out_of_range);
+}
+
+TEST(OcallTable, HandlersAreIndependent) {
+  OcallTable table;
+  int a_hits = 0;
+  int b_hits = 0;
+  const auto a = table.register_fn("a", [&](MarshalledCall&) { ++a_hits; });
+  const auto b = table.register_fn("b", [&](MarshalledCall&) { ++b_hits; });
+  MarshalledCall call;
+  table.dispatch(b, call);
+  table.dispatch(b, call);
+  table.dispatch(a, call);
+  EXPECT_EQ(a_hits, 1);
+  EXPECT_EQ(b_hits, 2);
+}
+
+}  // namespace
+}  // namespace zc

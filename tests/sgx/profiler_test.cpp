@@ -1,0 +1,169 @@
+#include "sgx/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/zc_backend.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc {
+namespace {
+
+TEST(CallProfiler, StartsEmpty) {
+  CallProfiler prof;
+  EXPECT_EQ(prof.total_calls(), 0u);
+  EXPECT_TRUE(prof.active_ids().empty());
+  EXPECT_EQ(prof.stats(0).calls, 0u);
+  EXPECT_EQ(prof.stats(0).min_cycles, 0u);
+}
+
+TEST(CallProfiler, RecordsPerPathCounts) {
+  CallProfiler prof;
+  prof.record(3, CallPath::kSwitchless, 100);
+  prof.record(3, CallPath::kSwitchless, 200);
+  prof.record(3, CallPath::kFallback, 5'000);
+  prof.record(3, CallPath::kRegular, 14'000);
+  const auto s = prof.stats(3);
+  EXPECT_EQ(s.calls, 4u);
+  EXPECT_EQ(s.switchless, 2u);
+  EXPECT_EQ(s.fallback, 1u);
+  EXPECT_EQ(s.regular, 1u);
+  EXPECT_EQ(s.total_cycles, 19'300u);
+  EXPECT_EQ(s.min_cycles, 100u);
+  EXPECT_EQ(s.max_cycles, 14'000u);
+  EXPECT_DOUBLE_EQ(s.mean_cycles(), 19'300.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.switchless_ratio(), 0.5);
+}
+
+TEST(CallProfiler, IdsAreIndependent) {
+  CallProfiler prof;
+  prof.record(1, CallPath::kRegular, 10);
+  prof.record(7, CallPath::kSwitchless, 20);
+  EXPECT_EQ(prof.stats(1).calls, 1u);
+  EXPECT_EQ(prof.stats(7).calls, 1u);
+  EXPECT_EQ(prof.stats(2).calls, 0u);
+  EXPECT_EQ(prof.active_ids(), (std::vector<std::uint32_t>{1, 7}));
+  EXPECT_EQ(prof.total_calls(), 2u);
+}
+
+TEST(CallProfiler, OverflowIdsGoToOverflowBucket) {
+  CallProfiler prof;
+  prof.record(CallProfiler::kMaxFns + 5, CallPath::kRegular, 1);
+  prof.record(CallProfiler::kMaxFns + 9, CallPath::kRegular, 1);
+  EXPECT_EQ(prof.total_calls(), 2u);
+  EXPECT_EQ(prof.stats(CallProfiler::kMaxFns + 123).calls, 2u);
+}
+
+TEST(CallProfiler, ResetClearsEverything) {
+  CallProfiler prof;
+  prof.record(0, CallPath::kRegular, 42);
+  prof.reset();
+  EXPECT_EQ(prof.total_calls(), 0u);
+  EXPECT_EQ(prof.stats(0).min_cycles, 0u);
+  EXPECT_EQ(prof.stats(0).max_cycles, 0u);
+}
+
+TEST(CallProfiler, ConcurrentRecordsAreLossless) {
+  CallProfiler prof;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&prof, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          prof.record(static_cast<std::uint32_t>(t % 4),
+                      CallPath::kSwitchless, 7);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(prof.total_calls(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CallProfiler, ReportRendersNamesAndSorts) {
+  OcallTable names;
+  const auto cheap = names.register_fn("cheap", [](MarshalledCall&) {});
+  const auto costly = names.register_fn("costly", [](MarshalledCall&) {});
+  CallProfiler prof;
+  prof.record(cheap, CallPath::kSwitchless, 10);
+  prof.record(costly, CallPath::kRegular, 100'000);
+  const Table report = prof.report(names);
+  EXPECT_EQ(report.rows(), 2u);
+  std::ostringstream os;
+  report.print(os);
+  const std::string out = os.str();
+  // Sorted by total cycles: "costly" must appear before "cheap".
+  EXPECT_LT(out.find("costly"), out.find("cheap"));
+}
+
+TEST(EnclaveProfiler, ObservesOcallsWhenAttached) {
+  SimConfig cfg;
+  cfg.tes_cycles = 1'000;
+  auto enclave = Enclave::create(cfg);
+  const auto id = enclave->ocalls().register_fn("probe", [](MarshalledCall&) {});
+
+  CallProfiler prof;
+  enclave->set_profiler(&prof);
+  struct A {
+    int x;
+  } args{0};
+  for (int i = 0; i < 10; ++i) enclave->ocall(id, args);
+  EXPECT_EQ(prof.stats(id).calls, 10u);
+  EXPECT_EQ(prof.stats(id).regular, 10u);
+  // Each regular call costs at least the transition.
+  EXPECT_GE(prof.stats(id).min_cycles, 1'000u);
+
+  enclave->set_profiler(nullptr);
+  enclave->ocall(id, args);
+  EXPECT_EQ(prof.stats(id).calls, 10u);  // detached: no new records
+}
+
+TEST(EnclaveProfiler, SeparatesPathsUnderZcBackend) {
+  SimConfig cfg;
+  cfg.tes_cycles = 1'000;
+  auto enclave = Enclave::create(cfg);
+  const auto id = enclave->ocalls().register_fn("probe", [](MarshalledCall&) {});
+  CallProfiler prof;
+  enclave->set_profiler(&prof);
+
+  ZcConfig zcfg;
+  zcfg.scheduler_enabled = false;
+  zcfg.with_initial_workers(1);
+  enclave->set_backend(std::make_unique<ZcBackend>(*enclave, zcfg));
+  struct A {
+    int x;
+  } args{0};
+  for (int i = 0; i < 5; ++i) enclave->ocall(id, args);
+
+  auto* backend = static_cast<ZcBackend*>(&enclave->backend());
+  backend->set_active_workers(0);
+  for (int i = 0; i < 3; ++i) enclave->ocall(id, args);
+
+  const auto s = prof.stats(id);
+  EXPECT_EQ(s.switchless, 5u);
+  EXPECT_EQ(s.fallback, 3u);
+  EXPECT_EQ(s.calls, 8u);
+}
+
+TEST(EnclaveProfiler, ObservesEcalls) {
+  SimConfig cfg;
+  cfg.tes_cycles = 1'000;
+  auto enclave = Enclave::create(cfg);
+  const auto id = enclave->ecalls().register_fn("tfn", [](MarshalledCall&) {});
+  CallProfiler prof;
+  enclave->set_profiler(&prof);
+  struct A {
+    int x;
+  } args{0};
+  enclave->ecall_fn(id, args);
+  EXPECT_EQ(prof.stats(id).calls, 1u);
+  EXPECT_EQ(prof.stats(id).regular, 1u);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,83 @@
+#include "sgx/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/cycles.hpp"
+
+namespace zc {
+namespace {
+
+SimConfig small_config(std::uint64_t tes = 10'000) {
+  SimConfig cfg;
+  cfg.tes_cycles = tes;
+  return cfg;
+}
+
+TEST(Transition, DefaultTesMatchesPaper) {
+  SimConfig cfg;
+  TransitionModel model(cfg);
+  EXPECT_EQ(model.tes_cycles(), 13'500u);
+}
+
+TEST(Transition, CountsEexitAndEenter) {
+  TransitionModel model(small_config());
+  model.eexit();
+  model.eexit();
+  model.eenter();
+  EXPECT_EQ(model.eexit_count(), 2u);
+  EXPECT_EQ(model.eenter_count(), 1u);
+  EXPECT_EQ(model.ecall_count(), 0u);
+}
+
+TEST(Transition, FullOcallBurnsTesCycles) {
+  TransitionModel model(small_config(50'000));
+  const std::uint64_t c0 = rdtsc();
+  model.eexit();
+  model.eenter();
+  const std::uint64_t elapsed = rdtsc() - c0;
+  EXPECT_GE(elapsed, 50'000u);
+  EXPECT_EQ(model.burned_cycles(), 50'000u);
+}
+
+TEST(Transition, EexitFractionSplitsBudget) {
+  SimConfig cfg = small_config(10'000);
+  cfg.eexit_fraction = 0.8;
+  TransitionModel model(cfg);
+  const std::uint64_t c0 = rdtsc();
+  model.eexit();
+  const std::uint64_t exit_cycles = rdtsc() - c0;
+  // 80% of 10k = 8k; allow calibration slack.
+  EXPECT_GE(exit_cycles, 8'000u);
+  model.eenter();
+  EXPECT_EQ(model.burned_cycles(), 10'000u);  // halves always sum to Tes
+}
+
+TEST(Transition, FractionIsClamped) {
+  SimConfig cfg = small_config(10'000);
+  cfg.eexit_fraction = 7.0;  // out of range -> clamped to 1.0
+  TransitionModel model(cfg);
+  model.eexit();
+  model.eenter();
+  EXPECT_EQ(model.burned_cycles(), 10'000u);
+}
+
+TEST(Transition, EcallRoundtripChargesTes) {
+  TransitionModel model(small_config(20'000));
+  const std::uint64_t c0 = rdtsc();
+  model.ecall_roundtrip();
+  EXPECT_GE(rdtsc() - c0, 20'000u);
+  EXPECT_EQ(model.ecall_count(), 1u);
+  EXPECT_EQ(model.burned_cycles(), 20'000u);
+}
+
+TEST(Transition, ZeroCostModelIsFree) {
+  TransitionModel model(small_config(0));
+  model.eexit();
+  model.eenter();
+  model.ecall_roundtrip();
+  EXPECT_EQ(model.burned_cycles(), 0u);
+  EXPECT_EQ(model.eexit_count(), 1u);
+}
+
+}  // namespace
+}  // namespace zc

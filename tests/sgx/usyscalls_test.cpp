@@ -1,0 +1,159 @@
+#include "sgx/usyscalls.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/cpu_meter.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc {
+namespace {
+
+class UsyscallsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 500;
+    enclave_ = Enclave::create(cfg);
+    ids_ = register_std_ocalls(enclave_->ocalls());
+    tmp_ = testutil::unique_tmp_path("zc_usys");
+  }
+  void TearDown() override { std::filesystem::remove(tmp_); }
+
+  std::unique_ptr<Enclave> enclave_;
+  StdOcallIds ids_;
+  std::filesystem::path tmp_;
+};
+
+TEST_F(UsyscallsTest, RegistersDistinctIds) {
+  EXPECT_NE(ids_.read, ids_.write);
+  EXPECT_NE(ids_.fopen, ids_.fclose);
+  EXPECT_EQ(enclave_->ocalls().name(ids_.fseeko), "fseeko");
+  EXPECT_EQ(enclave_->ocalls().name(ids_.usleep), "usleep");
+}
+
+TEST_F(UsyscallsTest, ReadFromDevZero) {
+  OpenArgs open_args;
+  std::snprintf(open_args.path, sizeof(open_args.path), "/dev/zero");
+  open_args.flags = O_RDONLY;
+  enclave_->ocall(ids_.open, open_args);
+  ASSERT_GE(open_args.ret, 0);
+
+  ReadArgs args;
+  args.fd = open_args.ret;
+  args.count = 8;
+  std::uint64_t word = 0xFFFFFFFFFFFFFFFFULL;
+  enclave_->ocall_out(ids_.read, args, &word, sizeof(word));
+  EXPECT_EQ(args.ret, 8);
+  EXPECT_EQ(word, 0u);  // /dev/zero delivers zeroes
+
+  CloseArgs close_args;
+  close_args.fd = open_args.ret;
+  enclave_->ocall(ids_.close, close_args);
+  EXPECT_EQ(close_args.ret, 0);
+}
+
+TEST_F(UsyscallsTest, WriteToDevNull) {
+  OpenArgs open_args;
+  std::snprintf(open_args.path, sizeof(open_args.path), "/dev/null");
+  open_args.flags = O_WRONLY;
+  enclave_->ocall(ids_.open, open_args);
+  ASSERT_GE(open_args.ret, 0);
+
+  WriteArgs args;
+  args.fd = open_args.ret;
+  args.count = 8;
+  const std::uint64_t word = 42;
+  enclave_->ocall_in(ids_.write, args, &word, sizeof(word));
+  EXPECT_EQ(args.ret, 8);
+
+  CloseArgs close_args;
+  close_args.fd = open_args.ret;
+  enclave_->ocall(ids_.close, close_args);
+}
+
+TEST_F(UsyscallsTest, OpenNonexistentPathFails) {
+  OpenArgs args;
+  std::snprintf(args.path, sizeof(args.path), "/nonexistent/dir/file");
+  args.flags = O_RDONLY;
+  enclave_->ocall(ids_.open, args);
+  EXPECT_EQ(args.ret, -1);
+}
+
+TEST_F(UsyscallsTest, FopenMissingFileReturnsNullHandle) {
+  FopenArgs args;
+  std::snprintf(args.path, sizeof(args.path), "%s", tmp_.c_str());
+  std::snprintf(args.mode, sizeof(args.mode), "rb");
+  enclave_->ocall(ids_.fopen, args);
+  EXPECT_EQ(args.handle, 0u);
+}
+
+TEST_F(UsyscallsTest, StdioWriteSeekReadRoundTrip) {
+  FopenArgs fopen_args;
+  std::snprintf(fopen_args.path, sizeof(fopen_args.path), "%s", tmp_.c_str());
+  std::snprintf(fopen_args.mode, sizeof(fopen_args.mode), "w+b");
+  enclave_->ocall(ids_.fopen, fopen_args);
+  ASSERT_NE(fopen_args.handle, 0u);
+
+  const std::string data = "0123456789";
+  FwriteArgs fwrite_args;
+  fwrite_args.handle = fopen_args.handle;
+  fwrite_args.size = data.size();
+  enclave_->ocall_in(ids_.fwrite, fwrite_args, data.data(), data.size());
+  EXPECT_EQ(fwrite_args.ret, data.size());
+
+  FtelloArgs ftello_args;
+  ftello_args.handle = fopen_args.handle;
+  enclave_->ocall(ids_.ftello, ftello_args);
+  EXPECT_EQ(ftello_args.ret, static_cast<std::int64_t>(data.size()));
+
+  FseekoArgs fseeko_args;
+  fseeko_args.handle = fopen_args.handle;
+  fseeko_args.offset = 3;
+  fseeko_args.whence = SEEK_SET;
+  enclave_->ocall(ids_.fseeko, fseeko_args);
+  EXPECT_EQ(fseeko_args.ret, 0);
+
+  FreadArgs fread_args;
+  fread_args.handle = fopen_args.handle;
+  fread_args.size = 4;
+  char buf[4];
+  enclave_->ocall_out(ids_.fread, fread_args, buf, sizeof(buf));
+  EXPECT_EQ(fread_args.ret, 4u);
+  EXPECT_EQ(std::string(buf, 4), "3456");
+
+  FflushArgs fflush_args;
+  fflush_args.handle = fopen_args.handle;
+  enclave_->ocall(ids_.fflush, fflush_args);
+  EXPECT_EQ(fflush_args.ret, 0);
+
+  FcloseArgs fclose_args;
+  fclose_args.handle = fopen_args.handle;
+  enclave_->ocall(ids_.fclose, fclose_args);
+  EXPECT_EQ(fclose_args.ret, 0);
+}
+
+TEST_F(UsyscallsTest, FcloseNullHandleIsError) {
+  FcloseArgs args;
+  args.handle = 0;
+  enclave_->ocall(ids_.fclose, args);
+  EXPECT_EQ(args.ret, -1);
+}
+
+TEST_F(UsyscallsTest, UsleepSleepsRoughly) {
+  UsleepArgs args;
+  args.usec = 20'000;
+  const std::uint64_t t0 = wall_ns();
+  enclave_->ocall(ids_.usleep, args);
+  EXPECT_GE(wall_ns() - t0, 15'000'000u);  // >= 15 ms
+}
+
+}  // namespace
+}  // namespace zc

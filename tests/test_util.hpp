@@ -1,0 +1,23 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+namespace zc::testutil {
+
+/// Unique temp path derived from the current test's full name.
+/// Parameterized test names contain '/', which must not leak into paths.
+inline std::filesystem::path unique_tmp_path(const std::string& prefix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = std::string(info->test_suite_name()) + "_" + info->name();
+  std::replace(name.begin(), name.end(), '/', '_');
+  return std::filesystem::temp_directory_path() /
+         (prefix + "_" + std::to_string(::getpid()) + "_" + name);
+}
+
+}  // namespace zc::testutil

@@ -1,0 +1,117 @@
+#include "tlibc/printf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace zc::tlibc {
+namespace {
+
+// Formats with both tsnprintf and the host snprintf and compares.
+#define EXPECT_SAME_FORMAT(fmt, ...)                                     \
+  do {                                                                   \
+    char ours[128];                                                      \
+    char theirs[128];                                                    \
+    const int n_ours = tsnprintf(ours, sizeof(ours), fmt, __VA_ARGS__);  \
+    const int n_theirs =                                                 \
+        std::snprintf(theirs, sizeof(theirs), fmt, __VA_ARGS__);        \
+    EXPECT_STREQ(ours, theirs);                                          \
+    EXPECT_EQ(n_ours, n_theirs);                                         \
+  } while (0)
+
+TEST(Tsnprintf, PlainTextPassesThrough) {
+  char buf[32];
+  EXPECT_EQ(tsnprintf(buf, sizeof(buf), "hello enclave"), 13);
+  EXPECT_STREQ(buf, "hello enclave");
+}
+
+TEST(Tsnprintf, SignedDecimal) {
+  EXPECT_SAME_FORMAT("%d", 0);
+  EXPECT_SAME_FORMAT("%d", 42);
+  EXPECT_SAME_FORMAT("%d", -42);
+  EXPECT_SAME_FORMAT("%i", 2147483647);
+  EXPECT_SAME_FORMAT("%d", -2147483647 - 1);  // INT_MIN
+}
+
+TEST(Tsnprintf, UnsignedAndHex) {
+  EXPECT_SAME_FORMAT("%u", 0u);
+  EXPECT_SAME_FORMAT("%u", 4294967295u);
+  EXPECT_SAME_FORMAT("%x", 0xdeadbeefu);
+  EXPECT_SAME_FORMAT("%X", 0xdeadbeefu);
+  EXPECT_SAME_FORMAT("%x", 0u);
+}
+
+TEST(Tsnprintf, LengthModifiers) {
+  EXPECT_SAME_FORMAT("%ld", 1234567890123L);
+  EXPECT_SAME_FORMAT("%lld", -9007199254740993LL);
+  EXPECT_SAME_FORMAT("%lu", 18446744073709551615UL);
+  EXPECT_SAME_FORMAT("%llx", 0xfedcba9876543210ULL);
+}
+
+TEST(Tsnprintf, WidthAndFlags) {
+  EXPECT_SAME_FORMAT("[%5d]", 42);
+  EXPECT_SAME_FORMAT("[%-5d]", 42);
+  EXPECT_SAME_FORMAT("[%05d]", 42);
+  EXPECT_SAME_FORMAT("[%05d]", -42);
+  EXPECT_SAME_FORMAT("[%8x]", 0xabcu);
+  EXPECT_SAME_FORMAT("[%08X]", 0xabcu);
+  EXPECT_SAME_FORMAT("[%3d]", 123456);  // width smaller than the value
+}
+
+TEST(Tsnprintf, StringsAndChars) {
+  EXPECT_SAME_FORMAT("%s", "kissdb");
+  EXPECT_SAME_FORMAT("[%10s]", "pad");
+  EXPECT_SAME_FORMAT("[%-10s]", "pad");
+  EXPECT_SAME_FORMAT("%c%c%c", 'z', 'c', '!');
+  EXPECT_SAME_FORMAT("%s=%d", "workers", 4);
+}
+
+TEST(Tsnprintf, NullStringPrintsPlaceholder) {
+  char buf[16];
+  tsnprintf(buf, sizeof(buf), "%s", static_cast<const char*>(nullptr));
+  EXPECT_STREQ(buf, "(null)");
+}
+
+TEST(Tsnprintf, PercentLiteral) {
+  EXPECT_SAME_FORMAT("100%%%d", 5);
+}
+
+TEST(Tsnprintf, PointerHasHexPrefix) {
+  char buf[32];
+  int probe = 0;
+  tsnprintf(buf, sizeof(buf), "%p", static_cast<void*>(&probe));
+  EXPECT_EQ(std::strncmp(buf, "0x", 2), 0);
+  EXPECT_GT(std::strlen(buf), 2u);
+}
+
+TEST(Tsnprintf, UnknownConversionEmittedVerbatim) {
+  char buf[16];
+  tsnprintf(buf, sizeof(buf), "a%qb", 0);
+  EXPECT_STREQ(buf, "a%qb");
+}
+
+TEST(Tsnprintf, TruncationKeepsNulAndReportsFullLength) {
+  char buf[6];
+  const int n = tsnprintf(buf, sizeof(buf), "%s", "longer-than-buffer");
+  EXPECT_EQ(n, 18);           // untruncated length, like C snprintf
+  EXPECT_STREQ(buf, "longe");  // 5 chars + NUL
+}
+
+TEST(Tsnprintf, ZeroSizeWritesNothing) {
+  char guard = 'G';
+  const int n = tsnprintf(&guard, 0, "%d", 12345);
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(guard, 'G');  // untouched
+}
+
+TEST(Tsnprintf, ComposedMessage) {
+  char buf[128];
+  tsnprintf(buf, sizeof(buf), "worker %u: served %lld calls (%s) [%08x]", 3u,
+            123456789LL, "switchless", 0xcafeu);
+  EXPECT_STREQ(buf, "worker 3: served 123456789 calls (switchless) [0000cafe]");
+}
+
+}  // namespace
+}  // namespace zc::tlibc

@@ -1,0 +1,102 @@
+#include "workload/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "workload/synthetic.hpp"
+
+namespace zc::workload {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig sim;
+    sim.tes_cycles = 2'000;
+    sim.logical_cpus = 8;
+    enclave_ = Enclave::create(sim);
+    ids_ = register_synthetic_ocalls(enclave_->ocalls());
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  SyntheticOcalls ids_;
+};
+
+TEST_F(HarnessTest, NoSlSpecInstallsRegularBackend) {
+  install_backend(*enclave_, ModeSpec::no_sl());
+  EXPECT_STREQ(enclave_->backend().name(), "no_sl");
+}
+
+TEST_F(HarnessTest, IntelSpecInstallsConfiguredBackend) {
+  auto spec = ModeSpec::intel("i-f-2", {ids_.f_a, ids_.f_b}, 2);
+  install_backend(*enclave_, spec);
+  EXPECT_STREQ(enclave_->backend().name(), "intel_sl");
+  EXPECT_EQ(enclave_->backend().active_workers(), 2u);
+  // Configured ids go switchless.
+  FArgs args;
+  EXPECT_EQ(enclave_->ocall(ids_.f_a, args), CallPath::kSwitchless);
+  GArgs gargs;
+  gargs.pauses = 0;
+  EXPECT_EQ(enclave_->ocall(ids_.g_a, gargs), CallPath::kRegular);
+}
+
+TEST_F(HarnessTest, ZcSpecInstallsZcBackend) {
+  ZcConfig cfg;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(1);
+  install_backend(*enclave_, ModeSpec::zc_mode(cfg));
+  EXPECT_STREQ(enclave_->backend().name(), "zc");
+  FArgs args;
+  EXPECT_EQ(enclave_->ocall(ids_.f_a, args), CallPath::kSwitchless);
+}
+
+TEST_F(HarnessTest, MeterReachesIntelWorkers) {
+  CpuUsageMeter meter(8);
+  auto spec = ModeSpec::intel("i-f-2", {ids_.f_a}, 2);
+  spec.intel_rbs = 1'000'000'000;  // keep workers spinning (never sleep)
+  install_backend(*enclave_, spec, &meter);
+  meter.begin_window();
+  // Busy-waiting workers accumulate CPU even with no calls.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_GT(meter.window_cpu_ns(), 10'000'000u);  // >=10ms of worker spin
+  // Detach worker threads from the local meter before it is destroyed.
+  install_backend(*enclave_, ModeSpec::no_sl());
+}
+
+TEST_F(HarnessTest, MeasureReportsWallAndCpu) {
+  CpuUsageMeter meter(1);
+  const auto slot = meter.register_current_thread();
+  const Measured m = measure(meter, [&] {
+    const std::uint64_t start = wall_ns();
+    volatile std::uint64_t sink = 0;
+    while (wall_ns() - start < 30'000'000) sink += 1;
+    meter.checkpoint(slot);
+  });
+  EXPECT_GT(m.seconds, 0.025);
+  EXPECT_GT(m.cpu_percent, 40.0);
+}
+
+TEST_F(HarnessTest, SimThreadScopeRegistersWithMeter) {
+  CpuUsageMeter meter(1);
+  meter.begin_window();
+  {
+    std::jthread t([&] {
+      SimThreadScope scope(*enclave_, &meter);
+      const std::uint64_t start = wall_ns();
+      volatile std::uint64_t sink = 0;
+      while (wall_ns() - start < 30'000'000) sink += 1;
+      scope.checkpoint();
+    });
+  }
+  EXPECT_GT(meter.window_cpu_ns(), 15'000'000u);
+}
+
+TEST_F(HarnessTest, ModeLabelsRoundTrip) {
+  EXPECT_EQ(ModeSpec::no_sl().label, "no_sl");
+  EXPECT_EQ(ModeSpec::intel("i-frw-4", {}, 4).label, "i-frw-4");
+  EXPECT_EQ(ModeSpec::zc_mode().label, "zc");
+}
+
+}  // namespace
+}  // namespace zc::workload

@@ -1,0 +1,92 @@
+#include "workload/phased.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::workload {
+namespace {
+
+PhasedPlan paper_plan() {
+  PhasedPlan plan;
+  plan.tau_seconds = 0.5;
+  plan.total_seconds = 60.0;
+  plan.initial_ops = 1'000;
+  return plan;
+}
+
+TEST(PhasedPlan, PaperPlanHas120Periods) {
+  EXPECT_EQ(paper_plan().periods(), 120u);
+}
+
+TEST(PhasedPlan, Phase1DoublesEveryPeriod) {
+  const auto plan = paper_plan();
+  EXPECT_EQ(plan.ops_for_period(0), 1'000u);
+  EXPECT_EQ(plan.ops_for_period(1), 2'000u);
+  EXPECT_EQ(plan.ops_for_period(2), 4'000u);
+  EXPECT_EQ(plan.ops_for_period(10), 1'000u * 1024u);
+}
+
+TEST(PhasedPlan, Phase2HoldsThePeak) {
+  const auto plan = paper_plan();
+  const std::uint64_t peak = plan.peak_ops();
+  EXPECT_EQ(plan.ops_for_period(40), peak);  // first period of phase 2
+  EXPECT_EQ(plan.ops_for_period(60), peak);
+  EXPECT_EQ(plan.ops_for_period(79), peak);  // last period of phase 2
+  EXPECT_EQ(peak, plan.ops_for_period(39));  // peak is the end of phase 1
+}
+
+TEST(PhasedPlan, Phase3HalvesEveryPeriod) {
+  const auto plan = paper_plan();
+  const std::uint64_t peak = plan.peak_ops();
+  EXPECT_EQ(plan.ops_for_period(80), peak / 2);
+  EXPECT_EQ(plan.ops_for_period(81), peak / 4);
+}
+
+TEST(PhasedPlan, DecreaseFloorsAtOne) {
+  PhasedPlan plan;
+  plan.tau_seconds = 1.0;
+  plan.total_seconds = 90.0;
+  plan.initial_ops = 2;
+  const std::uint64_t last = plan.ops_for_period(89);
+  EXPECT_GE(last, 1u);
+}
+
+TEST(PhasedPlan, DoublingSaturatesWithoutOverflow) {
+  PhasedPlan plan;
+  plan.tau_seconds = 0.1;
+  plan.total_seconds = 60.0;  // 200 doubling periods in phase 1
+  plan.initial_ops = 1'000'000;
+  // Must not wrap around; a saturated value is fine.
+  EXPECT_GT(plan.peak_ops(), 0u);
+}
+
+TEST(PhasedPlan, ScheduleMatchesPerPeriodQueries) {
+  const auto plan = paper_plan();
+  const auto schedule = plan.schedule();
+  ASSERT_EQ(schedule.size(), plan.periods());
+  for (std::uint64_t p = 0; p < plan.periods(); p += 13) {
+    EXPECT_EQ(schedule[p], plan.ops_for_period(p)) << "period " << p;
+  }
+}
+
+TEST(PhasedPlan, ScheduleIsSymmetricInShape) {
+  // Increase then steady then decrease: first period of phase 3 is below
+  // the peak, and the schedule ends below where phase 2 sat.
+  const auto plan = paper_plan();
+  const auto schedule = plan.schedule();
+  const std::uint64_t peak = plan.peak_ops();
+  EXPECT_LT(schedule.back(), peak);
+  EXPECT_LT(schedule.front(), peak);
+}
+
+TEST(PhasedPlan, TinyPlanDegradesGracefully) {
+  PhasedPlan plan;
+  plan.tau_seconds = 0.5;
+  plan.total_seconds = 1.0;  // 2 periods -> phase_len == 0
+  plan.initial_ops = 10;
+  EXPECT_EQ(plan.periods(), 2u);
+  EXPECT_EQ(plan.ops_for_period(0), 10u);
+  EXPECT_EQ(plan.ops_for_period(1), 10u);
+}
+
+}  // namespace
+}  // namespace zc::workload

@@ -1,0 +1,153 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/zc_backend.hpp"
+#include "intel_sl/intel_backend.hpp"
+
+namespace zc::workload {
+namespace {
+
+class SyntheticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig sim;
+    sim.tes_cycles = 2'000;
+    sim.logical_cpus = 8;
+    enclave_ = Enclave::create(sim);
+    ids_ = register_synthetic_ocalls(enclave_->ocalls());
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  SyntheticOcalls ids_;
+};
+
+TEST_F(SyntheticTest, RegistersFourDistinctIds) {
+  std::vector<std::uint32_t> all{ids_.f_a, ids_.f_b, ids_.g_a, ids_.g_b};
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(enclave_->ocalls().name(ids_.f_a), "f");
+  EXPECT_EQ(enclave_->ocalls().name(ids_.g_a), "g");
+}
+
+TEST_F(SyntheticTest, ConfigNamesMatchPaper) {
+  EXPECT_STREQ(to_string(SynthConfig::kC1), "C1");
+  EXPECT_STREQ(to_string(SynthConfig::kC5), "C5");
+}
+
+TEST_F(SyntheticTest, SwitchlessSetsEncodeTheFiveConfigs) {
+  const auto c1 = intel_switchless_set(SynthConfig::kC1, ids_);
+  EXPECT_EQ(c1.size(), 2u);  // both f ids
+  EXPECT_NE(std::find(c1.begin(), c1.end(), ids_.f_a), c1.end());
+  EXPECT_EQ(std::find(c1.begin(), c1.end(), ids_.g_a), c1.end());
+
+  const auto c2 = intel_switchless_set(SynthConfig::kC2, ids_);
+  EXPECT_NE(std::find(c2.begin(), c2.end(), ids_.g_a), c2.end());
+  EXPECT_EQ(std::find(c2.begin(), c2.end(), ids_.f_a), c2.end());
+
+  const auto c3 = intel_switchless_set(SynthConfig::kC3, ids_);
+  EXPECT_EQ(c3.size(), 2u);  // primary ids only: half the calls
+  EXPECT_NE(std::find(c3.begin(), c3.end(), ids_.f_a), c3.end());
+  EXPECT_NE(std::find(c3.begin(), c3.end(), ids_.g_a), c3.end());
+
+  EXPECT_EQ(intel_switchless_set(SynthConfig::kC4, ids_).size(), 4u);
+  EXPECT_TRUE(intel_switchless_set(SynthConfig::kC5, ids_).empty());
+}
+
+TEST_F(SyntheticTest, AlphaIsThreeBeta) {
+  SyntheticRunConfig run;
+  run.total_calls = 8'000;
+  run.enclave_threads = 4;
+  run.g_pauses = 0;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  EXPECT_EQ(result.f_calls + result.g_calls, 8'000u);
+  EXPECT_EQ(result.f_calls, 6'000u);  // α = 3β
+  EXPECT_EQ(result.g_calls, 2'000u);
+}
+
+TEST_F(SyntheticTest, AllCallsAreRegularUnderNoSl) {
+  SyntheticRunConfig run;
+  run.total_calls = 1'000;
+  run.enclave_threads = 2;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  EXPECT_EQ(result.regular, 1'000u);
+  EXPECT_EQ(result.switchless, 0u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST_F(SyntheticTest, C1UnderIntelMakesOnlyFSwitchless) {
+  intel::IntelSlConfig cfg;
+  cfg.num_workers = 2;
+  const auto set = intel_switchless_set(SynthConfig::kC1, ids_);
+  cfg.switchless_fns.insert(set.begin(), set.end());
+  enclave_->set_backend(
+      std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
+
+  SyntheticRunConfig run;
+  run.total_calls = 2'000;
+  run.enclave_threads = 2;
+  run.config = SynthConfig::kC1;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  // All g calls (500) are regular; f calls are switchless or fell back.
+  EXPECT_EQ(result.regular, result.g_calls);
+  EXPECT_EQ(result.switchless + result.fallbacks, result.f_calls);
+  EXPECT_GT(result.switchless, 0u);
+}
+
+TEST_F(SyntheticTest, C3SplitsCallsHalfAndHalf) {
+  intel::IntelSlConfig cfg;
+  cfg.num_workers = 4;
+  const auto set = intel_switchless_set(SynthConfig::kC3, ids_);
+  cfg.switchless_fns.insert(set.begin(), set.end());
+  enclave_->set_backend(
+      std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
+
+  SyntheticRunConfig run;
+  run.total_calls = 4'000;
+  run.enclave_threads = 1;  // deterministic single-thread split
+  run.config = SynthConfig::kC3;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  // Exactly half of all calls target the alias (regular) ids.
+  EXPECT_EQ(result.regular, 2'000u);
+  EXPECT_EQ(result.switchless + result.fallbacks, 2'000u);
+}
+
+TEST_F(SyntheticTest, ZcServesEverythingWithWorkers) {
+  ZcConfig cfg;
+  cfg.scheduler_enabled = false;
+  cfg.with_initial_workers(2);
+  enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
+
+  SyntheticRunConfig run;
+  run.total_calls = 2'000;
+  run.enclave_threads = 1;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  // Single caller, idle workers: everything goes switchless.
+  EXPECT_EQ(result.switchless, 2'000u);
+  EXPECT_EQ(result.fallbacks, 0u);
+}
+
+TEST_F(SyntheticTest, GDurationIncreasesRuntime) {
+  SyntheticRunConfig fast;
+  fast.total_calls = 2'000;
+  fast.enclave_threads = 2;
+  fast.g_pauses = 0;
+  SyntheticRunConfig slow = fast;
+  slow.g_pauses = 2'000;
+  const double t_fast = run_synthetic(*enclave_, ids_, fast).seconds;
+  const double t_slow = run_synthetic(*enclave_, ids_, slow).seconds;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+TEST_F(SyntheticTest, ZeroThreadsIsTreatedAsOne) {
+  SyntheticRunConfig run;
+  run.total_calls = 100;
+  run.enclave_threads = 0;
+  const auto result = run_synthetic(*enclave_, ids_, run);
+  EXPECT_EQ(result.f_calls + result.g_calls, 100u);
+}
+
+}  // namespace
+}  // namespace zc::workload
