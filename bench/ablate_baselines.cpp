@@ -13,9 +13,7 @@
 
 #include "bench/bench_common.hpp"
 #include "common/table.hpp"
-#include "core/zc_backend.hpp"
-#include "hotcalls/hotcalls.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "workload/harness.hpp"
 #include "workload/synthetic.hpp"
 
 using namespace zc;
@@ -28,31 +26,12 @@ struct Row {
   double idle_cpu_percent = 0;
 };
 
-Row run_backend(const bench::BenchArgs& args, const char* which,
+Row run_backend(const bench::BenchArgs& args, const ModeSpec& mode,
                 std::uint64_t total_calls) {
   auto enclave = Enclave::create(bench::paper_machine(args));
   const auto ids = register_synthetic_ocalls(enclave->ocalls());
   CpuUsageMeter meter(enclave->config().logical_cpus);
-
-  const std::string name(which);
-  if (name == "hotcalls") {
-    hotcalls::HotCallsConfig cfg;
-    cfg.num_workers = 2;
-    cfg.meter = &meter;
-    enclave->set_backend(hotcalls::make_hotcalls_backend(*enclave, cfg));
-  } else if (name == "intel-all-2") {
-    intel::IntelSlConfig cfg;
-    cfg.num_workers = 2;
-    const auto set = intel_switchless_set(SynthConfig::kC4, ids);
-    cfg.switchless_fns.insert(set.begin(), set.end());
-    cfg.meter = &meter;
-    enclave->set_backend(
-        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
-  } else if (name == "zc") {
-    ZcConfig cfg;
-    cfg.meter = &meter;
-    enclave->set_backend(std::make_unique<ZcBackend>(*enclave, cfg));
-  }  // else: default regular backend (no_sl)
+  install_backend(*enclave, mode, &meter);
 
   Row row;
   // Busy phase: total_calls across 4 threads.
@@ -74,7 +53,7 @@ Row run_backend(const bench::BenchArgs& args, const char* which,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::uint64_t total_calls = args.full ? 100'000 : 20'000;
 
@@ -84,14 +63,27 @@ int main(int argc, char** argv) {
             << " ocalls (f,f,f,g pattern, g = 50 pauses, 4 threads); idle:"
             << " 200 ms quiescent\n";
 
+  // The four call-execution policies of §VI, each named by its registry
+  // spec ("all" = every synthetic ocall in the Intel static set).
+  const auto modes = bench::select_modes(
+      args, {ModeSpec::no_sl(),
+             ModeSpec::parse("hotcalls:workers=2"),
+             ModeSpec::parse("intel:sl=all;workers=2", "intel-all-2"),
+             ModeSpec::parse("zc")});
+
   Table table({"design", "busy-time[s]", "idle-cpu[%]"});
-  for (const char* which : {"no_sl", "hotcalls", "intel-all-2", "zc"}) {
-    const Row row = run_backend(args, which, total_calls);
-    table.add_row({which, Table::num(row.busy_seconds, 3),
+  for (const auto& mode : modes) {
+    const Row row = run_backend(args, mode, total_calls);
+    table.add_row({mode.label, Table::num(row.busy_seconds, 3),
                    Table::num(row.idle_cpu_percent, 1)});
   }
   table.print(std::cout);
   std::cout << "# expected: hotcalls fastest busy but pays idle CPU forever;"
             << " zc close on busy time with ~0 idle CPU\n";
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

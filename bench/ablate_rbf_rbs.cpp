@@ -12,16 +12,21 @@
 
 #include "bench/bench_common.hpp"
 #include "common/table.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "intel_sl/intel_config.hpp"
 #include "workload/harness.hpp"
 #include "workload/synthetic.hpp"
 
 using namespace zc;
 using namespace zc::workload;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::uint64_t total_calls = args.full ? 40'000 : 8'000;
+  if (!args.backends.empty()) {
+    std::cerr << "this bench sweeps its own backend configurations;"
+              << " --backend is not supported here\n";
+    return 2;
+  }
 
   bench::print_header("Ablation §III-C", "rbf / rbs parameter sweeps", args);
 
@@ -31,16 +36,12 @@ int main(int argc, char** argv) {
             << " all calls switchless (C4)\n";
   Table rbf_table({"rbf", "time[s]", "switchless", "fallbacks"});
   for (const std::uint32_t rbf :
-       {0u, 100u, 1'000u, 5'000u, 20'000u, 100'000u}) {
+       {0u, 100u, 1'000u, 5'000u, intel::kSdkDefaultRetries, 100'000u}) {
     auto enclave = Enclave::create(bench::paper_machine(args));
     const auto ids = register_synthetic_ocalls(enclave->ocalls());
-    intel::IntelSlConfig cfg;
-    cfg.num_workers = 2;
-    cfg.retries_before_fallback = rbf;
-    const auto set = intel_switchless_set(SynthConfig::kC4, ids);
-    cfg.switchless_fns.insert(set.begin(), set.end());
-    enclave->set_backend(
-        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+    install_backend(*enclave,
+                    ModeSpec::parse("intel:sl=all;workers=2;rbf=" +
+                                    std::to_string(rbf)));
 
     SyntheticRunConfig run;
     run.total_calls = total_calls;
@@ -57,27 +58,29 @@ int main(int argc, char** argv) {
   // --- rbs sweep: idle system CPU usage for 200 ms.
   std::cout << "\n# rbs sweep: idle CPU burned by 2 workers over 200 ms\n";
   Table rbs_table({"rbs", "idle-cpu[%]", "worker-sleeps"});
-  for (const std::uint32_t rbs : {100u, 2'000u, 20'000u, 1'000'000'000u}) {
+  for (const std::uint32_t rbs :
+       {100u, 2'000u, intel::kSdkDefaultRetries, 1'000'000'000u}) {
     auto enclave = Enclave::create(bench::paper_machine(args));
-    const auto ids = register_synthetic_ocalls(enclave->ocalls());
+    register_synthetic_ocalls(enclave->ocalls());
     CpuUsageMeter meter(enclave->config().logical_cpus);
-    intel::IntelSlConfig cfg;
-    cfg.num_workers = 2;
-    cfg.retries_before_sleep = rbs;
-    cfg.switchless_fns = {ids.f_a};
-    cfg.meter = &meter;
-    auto backend =
-        std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg);
-    auto* raw = backend.get();
-    enclave->set_backend(std::move(backend));
+    install_backend(*enclave,
+                    ModeSpec::parse("intel:sl=f;workers=2;rbs=" +
+                                    std::to_string(rbs)),
+                    &meter);
     meter.begin_window();
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const double cpu = meter.window_usage_percent();
-    const std::uint64_t sleeps = raw->stats().worker_sleeps.load();
+    const std::uint64_t sleeps =
+        enclave->backend().stats().worker_sleeps.load();
     enclave->set_backend(nullptr);  // detach before the meter dies
     rbs_table.add_row({rbs >= 1'000'000'000u ? "inf" : std::to_string(rbs),
                        Table::num(cpu, 1), std::to_string(sleeps)});
   }
   rbs_table.print(std::cout);
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

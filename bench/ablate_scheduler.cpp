@@ -30,15 +30,15 @@ struct BurstResult {
 
 // Bursty load: alternating 100 ms of hammering from 4 threads and 100 ms
 // of silence, for `bursts` rounds.
-BurstResult run_bursty(const bench::BenchArgs& args, ZcConfig cfg,
+BurstResult run_bursty(const bench::BenchArgs& args, const ModeSpec& mode,
                        unsigned bursts) {
   auto enclave = Enclave::create(bench::paper_machine(args));
   const auto ids = register_synthetic_ocalls(enclave->ocalls());
   CpuUsageMeter meter(enclave->config().logical_cpus);
-  cfg.meter = &meter;
-  auto backend = std::make_unique<ZcBackend>(*enclave, cfg);
-  auto* raw = backend.get();
-  enclave->set_backend(std::move(backend));
+  install_backend(*enclave, mode, &meter);
+  // The sweeps need the scheduler's reconfiguration count — a ZC-specific
+  // diagnostic the CallBackend interface deliberately does not expose.
+  auto* raw = dynamic_cast<ZcBackend*>(&enclave->backend());
 
   meter.begin_window();
   const std::uint64_t t0 = wall_ns();
@@ -63,17 +63,24 @@ BurstResult run_bursty(const bench::BenchArgs& args, ZcConfig cfg,
   BurstResult result;
   result.seconds = static_cast<double>(wall_ns() - t0) * 1e-9;
   result.cpu_percent = meter.window_usage_percent();
-  result.config_phases = raw->scheduler()->config_phases();
-  result.fallbacks = raw->stats().fallback_calls.load();
+  if (raw != nullptr && raw->scheduler() != nullptr) {
+    result.config_phases = raw->scheduler()->config_phases();
+  }
+  result.fallbacks = enclave->backend().stats().fallback_calls.load();
   enclave->set_backend(nullptr);  // detach before the meter dies
   return result;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const unsigned bursts = args.full ? 10 : 3;
+  if (!args.backends.empty()) {
+    std::cerr << "this bench sweeps its own backend configurations;"
+              << " --backend is not supported here\n";
+    return 2;
+  }
 
   bench::print_header("Ablation §IV-A", "scheduler Q and µ sweeps", args);
   std::cout << "# bursty load: " << bursts
@@ -82,9 +89,10 @@ int main(int argc, char** argv) {
   std::cout << "\n# quantum sweep (µ = 1/100)\n";
   Table q_table({"Q[ms]", "cpu[%]", "config-phases", "fallbacks"});
   for (const long q_ms : {1L, 5L, 10L, 50L, 100L}) {
-    ZcConfig cfg;
-    cfg.quantum = std::chrono::milliseconds(q_ms);
-    const auto r = run_bursty(args, cfg, bursts);
+    const auto r = run_bursty(
+        args,
+        ModeSpec::parse("zc:quantum_us=" + std::to_string(q_ms * 1000)),
+        bursts);
     q_table.add_row({std::to_string(q_ms), Table::num(r.cpu_percent, 1),
                      std::to_string(r.config_phases),
                      std::to_string(r.fallbacks)});
@@ -93,11 +101,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n# µ sweep (Q = 10 ms)\n";
   Table mu_table({"mu", "cpu[%]", "config-phases", "fallbacks"});
-  for (const double mu : {0.001, 0.01, 0.1}) {
-    ZcConfig cfg;
-    cfg.mu = mu;
-    const auto r = run_bursty(args, cfg, bursts);
-    mu_table.add_row({Table::num(mu, 3), Table::num(r.cpu_percent, 1),
+  for (const char* mu : {"0.001", "0.01", "0.1"}) {
+    const auto r =
+        run_bursty(args, ModeSpec::parse(std::string("zc:mu=") + mu), bursts);
+    mu_table.add_row({mu, Table::num(r.cpu_percent, 1),
                       std::to_string(r.config_phases),
                       std::to_string(r.fallbacks)});
   }
@@ -106,13 +113,18 @@ int main(int argc, char** argv) {
   std::cout << "\n# scheduler off: fixed worker counts (call path only)\n";
   Table fixed_table({"workers", "cpu[%]", "fallbacks"});
   for (const unsigned w : {0u, 1u, 2u, 4u}) {
-    ZcConfig cfg;
-    cfg.scheduler_enabled = false;
-    cfg.with_initial_workers(w);
-    const auto r = run_bursty(args, cfg, bursts);
+    const auto r = run_bursty(
+        args,
+        ModeSpec::parse("zc:scheduler=off,workers=" + std::to_string(w)),
+        bursts);
     fixed_table.add_row({std::to_string(w), Table::num(r.cpu_percent, 1),
                          std::to_string(r.fallbacks)});
   }
   fixed_table.print(std::cout);
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

@@ -3,14 +3,20 @@
 // Every binary prints the rows/series of one paper figure.  Default
 // parameters are scaled down so the whole bench suite completes in minutes;
 // pass --full for paper-scale runs (100k ocalls, 60 s dynamic runs, ...).
+// Every bench also accepts --backend=SPEC (repeatable) to replace its
+// default mode list with registry spec strings — see
+// core/backend_registry.hpp for the grammar.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/backend_registry.hpp"
 #include "sgx/sim_config.hpp"
+#include "workload/harness.hpp"
 
 namespace zc::bench {
 
@@ -18,6 +24,7 @@ struct BenchArgs {
   bool full = false;      ///< paper-scale parameters
   bool pin = true;        ///< confine to an 8-cpu window (paper machine)
   unsigned repetitions = 1;
+  std::vector<std::string> backends;  ///< --backend=SPEC overrides
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -28,14 +35,48 @@ struct BenchArgs {
         args.pin = false;
       } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
         args.repetitions = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+        args.backends.emplace_back(argv[i] + 10);
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::cout << "flags: --full (paper-scale) --no-pin --reps=N\n";
+        std::cout << "flags: --full (paper-scale) --no-pin --reps=N"
+                  << " --backend=SPEC (repeatable)\n\n"
+                  << BackendRegistry::instance().help();
         std::exit(0);
       }
     }
     return args;
   }
 };
+
+/// The bench's mode list: the --backend=SPEC overrides when given (exiting
+/// with a clear message on a bad key or option name), else `defaults`.
+/// Option *values* and `sl` ocall names are only checked when the backend
+/// is built against a concrete enclave — bench mains catch those late
+/// BackendSpecErrors with backend_spec_exit() (function-try-block).
+inline std::vector<workload::ModeSpec> select_modes(
+    const BenchArgs& args, std::vector<workload::ModeSpec> defaults) {
+  if (args.backends.empty()) return defaults;
+  std::vector<workload::ModeSpec> modes;
+  for (const std::string& spec : args.backends) {
+    try {
+      modes.push_back(workload::ModeSpec::parse(spec));
+    } catch (const BackendSpecError& e) {
+      std::cerr << "bad --backend spec: " << e.what() << "\n\n"
+                << BackendRegistry::instance().help();
+      std::exit(2);
+    }
+  }
+  return modes;
+}
+
+/// Shared exit path for spec errors thrown mid-run while building a
+/// backend (bad option value, unresolvable sl name): report and exit 2
+/// instead of letting the exception reach std::terminate.
+inline int backend_spec_exit(const BackendSpecError& e) {
+  std::cerr << "bad backend spec: " << e.what() << "\n\n"
+            << BackendRegistry::instance().help();
+  return 2;
+}
 
 /// The paper's simulated machine: 8 logical CPUs, Tes = 13,500 cycles.
 inline SimConfig paper_machine(const BenchArgs& args) {

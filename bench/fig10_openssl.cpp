@@ -28,21 +28,19 @@ struct CryptoResult {
   double cpu_percent = 0;
 };
 
-std::vector<ModeSpec> openssl_modes(const StdOcallIds& ids,
-                                    unsigned intel_workers) {
+std::vector<ModeSpec> openssl_modes(unsigned intel_workers) {
   const std::string w = std::to_string(intel_workers);
   std::vector<ModeSpec> modes;
   modes.push_back(ModeSpec::no_sl());
   modes.push_back(ModeSpec::zc_mode());
-  modes.push_back(ModeSpec::intel("i-fr-" + w, {ids.fread}, intel_workers));
-  modes.push_back(ModeSpec::intel("i-fw-" + w, {ids.fwrite}, intel_workers));
+  modes.push_back(ModeSpec::intel("i-fr-" + w, {"fread"}, intel_workers));
+  modes.push_back(ModeSpec::intel("i-fw-" + w, {"fwrite"}, intel_workers));
   modes.push_back(
-      ModeSpec::intel("i-frw-" + w, {ids.fread, ids.fwrite}, intel_workers));
+      ModeSpec::intel("i-frw-" + w, {"fread", "fwrite"}, intel_workers));
   modes.push_back(
-      ModeSpec::intel("i-foc-" + w, {ids.fopen, ids.fclose}, intel_workers));
+      ModeSpec::intel("i-foc-" + w, {"fopen", "fclose"}, intel_workers));
   modes.push_back(ModeSpec::intel(
-      "i-frwoc-" + w, {ids.fread, ids.fwrite, ids.fopen, ids.fclose},
-      intel_workers));
+      "i-frwoc-" + w, {"fread", "fwrite", "fopen", "fclose"}, intel_workers));
   return modes;
 }
 
@@ -117,7 +115,7 @@ CryptoResult run_crypto(const bench::BenchArgs& args, const ModeSpec& mode,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t step_kb = args.full ? 20 : 40;
   const unsigned rounds = args.full ? 100 : 40;
@@ -125,12 +123,8 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Fig. 10", "AES-256-CBC file enc/dec latency and CPU by mode", args);
 
-  auto probe = Enclave::create(bench::paper_machine(args));
-  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
-  probe.reset();
-
   for (const unsigned intel_workers : {2u, 4u}) {
-    const auto modes = openssl_modes(ids, intel_workers);
+    const auto modes = bench::select_modes(args, openssl_modes(intel_workers));
     std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b") << ") "
               << intel_workers << " Intel workers\n";
     std::vector<std::string> lat_headers{"file[kB]"};
@@ -158,4 +152,9 @@ int main(int argc, char** argv) {
     cpu.print(std::cout);
   }
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

@@ -12,18 +12,15 @@
 
 using namespace zc;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Fig. 11",
                       "dynamic read/write throughput (KOPs/s) over time",
                       args);
 
-  auto probe = Enclave::create(bench::paper_machine(args));
-  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
-  probe.reset();
-
   for (const unsigned intel_workers : {2u, 4u}) {
-    const auto modes = bench::lmbench_modes(ids, intel_workers);
+    const auto modes =
+        bench::select_modes(args, bench::lmbench_modes(intel_workers));
     std::vector<std::vector<app::PeriodSample>> samples;
     std::cout << "\n## " << intel_workers << " workers-intel\n";
     for (const auto& mode : modes) {
@@ -50,4 +47,9 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

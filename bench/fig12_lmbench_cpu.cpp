@@ -12,39 +12,51 @@
 
 using namespace zc;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Fig. 12", "dynamic benchmark %CPU usage over time",
                       args);
 
-  auto probe = Enclave::create(bench::paper_machine(args));
-  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
-  probe.reset();
-
   for (const unsigned intel_workers : {2u, 4u}) {
-    const auto modes = bench::lmbench_modes(ids, intel_workers);
+    const auto modes =
+        bench::select_modes(args, bench::lmbench_modes(intel_workers));
     std::vector<std::vector<app::PeriodSample>> samples;
     for (const auto& mode : modes) {
       samples.push_back(bench::run_lmbench(args, mode).samples);
     }
 
     std::cout << "\n## " << intel_workers << " workers-intel\n";
+    // The worker-trajectory column follows the first zc mode, if any is in
+    // the (possibly --backend-overridden) mode list.
+    std::size_t zc_index = modes.size();
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      if (BackendSpec::parse(modes[m].spec).key == "zc") {
+        zc_index = m;
+        break;
+      }
+    }
     std::vector<std::string> headers{"t[s]"};
     for (const auto& m : modes) headers.push_back(m.label + "[%]");
-    headers.push_back("zc-workers");
+    if (zc_index < modes.size()) headers.push_back("zc-workers");
     Table table(headers);
     const std::size_t periods = samples.front().size();
-    const std::size_t zc_index = 1;  // modes[1] is zc
     for (std::size_t p = 0; p < periods; ++p) {
       std::vector<std::string> row{Table::num(samples.front()[p].t_seconds,
                                               2)};
       for (std::size_t m = 0; m < modes.size(); ++m) {
         row.push_back(Table::num(samples[m][p].cpu_percent, 1));
       }
-      row.push_back(std::to_string(samples[zc_index][p].workers));
+      if (zc_index < modes.size()) {
+        row.push_back(std::to_string(samples[zc_index][p].workers));
+      }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

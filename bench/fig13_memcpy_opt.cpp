@@ -15,6 +15,11 @@ using namespace zc;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::uint64_t base_ops = args.full ? 100'000 : 20'000;
+  if (!args.backends.empty()) {
+    std::cerr << "this bench sweeps its own backend configurations;"
+              << " --backend is not supported here\n";
+    return 2;
+  }
 
   bench::print_header("Fig. 13",
                       "write-ocall throughput, vanilla vs zc memcpy", args);

@@ -11,15 +11,20 @@
 
 #include "bench/bench_common.hpp"
 #include "common/table.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "workload/harness.hpp"
 #include "workload/synthetic.hpp"
 
 using namespace zc;
 using namespace zc::workload;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::uint64_t total_calls = args.full ? 100'000 : 10'000;
+  if (!args.backends.empty()) {
+    std::cerr << "this bench sweeps its own backend configurations;"
+              << " --backend is not supported here\n";
+    return 2;
+  }
 
   bench::print_header("Fig. 3",
                       "runtime vs g duration (pauses) and worker count",
@@ -40,13 +45,8 @@ int main(int argc, char** argv) {
       for (const SynthConfig config : configs) {
         auto enclave = Enclave::create(bench::paper_machine(args));
         const auto ids = register_synthetic_ocalls(enclave->ocalls());
-
-        intel::IntelSlConfig cfg;
-        cfg.num_workers = workers;
-        const auto set = intel_switchless_set(config, ids);
-        cfg.switchless_fns.insert(set.begin(), set.end());
-        enclave->set_backend(
-            std::make_unique<intel::IntelSwitchlessBackend>(*enclave, cfg));
+        install_backend(*enclave,
+                        ModeSpec::parse(intel_mode_spec(config, workers)));
 
         SyntheticRunConfig run;
         run.total_calls = total_calls;
@@ -60,4 +60,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

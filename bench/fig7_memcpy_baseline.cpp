@@ -17,6 +17,11 @@ using namespace zc;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::uint64_t base_ops = args.full ? 100'000 : 20'000;
+  if (!args.backends.empty()) {
+    std::cerr << "this bench sweeps its own backend configurations;"
+              << " --backend is not supported here\n";
+    return 2;
+  }
 
   bench::print_header(
       "Fig. 7", "write-ocall throughput, Intel SDK memcpy, by alignment",

@@ -13,7 +13,7 @@
 
 using namespace zc;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   std::vector<std::uint64_t> key_counts;
   const std::uint64_t step = args.full ? 1'000 : 2'000;
@@ -21,13 +21,9 @@ int main(int argc, char** argv) {
 
   bench::print_header("Fig. 8", "kissdb SET latency (2 writers)", args);
 
-  // A throwaway enclave provides the stable std ocall ids for labelling.
-  auto probe = Enclave::create(bench::paper_machine(args));
-  const StdOcallIds ids = register_std_ocalls(probe->ocalls());
-  probe.reset();
-
   for (const unsigned intel_workers : {2u, 4u}) {
-    const auto modes = bench::kissdb_modes(ids, intel_workers);
+    const auto modes =
+        bench::select_modes(args, bench::kissdb_modes(intel_workers));
     std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b")
               << ") 2 writers, " << intel_workers << " workers-intel\n";
     std::vector<std::string> headers{"keys"};
@@ -48,4 +44,9 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   return 0;
+} catch (const zc::BackendSpecError& e) {
+  // A --backend value or sl name that only fails when the backend
+  // is built against the run's enclave.
+  return zc::bench::backend_spec_exit(e);
 }
+

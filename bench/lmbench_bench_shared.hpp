@@ -11,17 +11,16 @@
 
 namespace zc::bench {
 
-inline std::vector<workload::ModeSpec> lmbench_modes(const StdOcallIds& ids,
-                                                     unsigned intel_workers) {
+inline std::vector<workload::ModeSpec> lmbench_modes(unsigned intel_workers) {
   using workload::ModeSpec;
   const std::string w = std::to_string(intel_workers);
   std::vector<ModeSpec> modes;
   modes.push_back(ModeSpec::no_sl());
   modes.push_back(ModeSpec::zc_mode());
-  modes.push_back(ModeSpec::intel("i-read-" + w, {ids.read}, intel_workers));
-  modes.push_back(ModeSpec::intel("i-write-" + w, {ids.write}, intel_workers));
+  modes.push_back(ModeSpec::intel("i-read-" + w, {"read"}, intel_workers));
+  modes.push_back(ModeSpec::intel("i-write-" + w, {"write"}, intel_workers));
   modes.push_back(
-      ModeSpec::intel("i-all-" + w, {ids.read, ids.write}, intel_workers));
+      ModeSpec::intel("i-all-" + w, {"read", "write"}, intel_workers));
   return modes;
 }
 

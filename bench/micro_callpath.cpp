@@ -6,8 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/zc_backend.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "core/backend_registry.hpp"
 #include "sgx/enclave.hpp"
 #include "tlibc/memcpy.hpp"
 
@@ -44,10 +43,7 @@ BENCHMARK(BM_RegularOcall)->Arg(0)->Arg(13'500);
 
 void BM_ZcSwitchless(benchmark::State& state) {
   Fixture f;
-  ZcConfig cfg;
-  cfg.scheduler_enabled = false;
-  cfg.with_initial_workers(1);
-  f.enclave->set_backend(std::make_unique<ZcBackend>(*f.enclave, cfg));
+  install_backend_spec(*f.enclave, "zc:scheduler=off,workers=1");
   NopArgs args;
   for (auto _ : state) {
     f.enclave->ocall(f.nop_id, args);
@@ -57,10 +53,8 @@ BENCHMARK(BM_ZcSwitchless);
 
 void BM_ZcImmediateFallback(benchmark::State& state) {
   Fixture f;
-  ZcConfig cfg;
-  cfg.scheduler_enabled = false;
-  cfg.with_initial_workers(0);  // no workers: every call falls back
-  f.enclave->set_backend(std::make_unique<ZcBackend>(*f.enclave, cfg));
+  // No workers: every call falls back.
+  install_backend_spec(*f.enclave, "zc:scheduler=off,workers=0");
   NopArgs args;
   for (auto _ : state) {
     f.enclave->ocall(f.nop_id, args);
@@ -70,11 +64,7 @@ BENCHMARK(BM_ZcImmediateFallback);
 
 void BM_IntelSwitchless(benchmark::State& state) {
   Fixture f;
-  intel::IntelSlConfig cfg;
-  cfg.num_workers = 1;
-  cfg.switchless_fns = {f.nop_id};
-  f.enclave->set_backend(
-      std::make_unique<intel::IntelSwitchlessBackend>(*f.enclave, cfg));
+  install_backend_spec(*f.enclave, "intel:sl=nop;workers=1");
   NopArgs args;
   for (auto _ : state) {
     f.enclave->ocall(f.nop_id, args);

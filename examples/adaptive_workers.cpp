@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/backend_registry.hpp"
 #include "core/zc_backend.hpp"
 #include "workload/synthetic.hpp"
 
@@ -23,9 +24,11 @@ int main() {
   auto enclave = Enclave::create(sim);
   const auto ids = workload::register_synthetic_ocalls(enclave->ocalls());
 
-  ZcConfig cfg;  // paper defaults: Q = 10 ms, µ = 1/100
-  auto backend = std::make_unique<ZcBackend>(*enclave, cfg);
-  auto* zc_backend = backend.get();
+  // Paper defaults: Q = 10 ms, µ = 1/100.  Built through the registry, but
+  // kept as the concrete type: this example reads ZC-only diagnostics
+  // (active_workers trajectory, scheduler occupancy).
+  auto backend = BackendRegistry::instance().create(*enclave, "zc");
+  auto* zc_backend = dynamic_cast<ZcBackend*>(backend.get());
   enclave->set_backend(std::move(backend));
 
   std::cout << "phase        workers(sampled over 1s)\n";

@@ -12,8 +12,9 @@
 #include <iostream>
 
 #include "apps/kissdb/kissdb.hpp"
-#include "core/zc_backend.hpp"
+#include "core/backend_registry.hpp"
 #include "sgx/profiler.hpp"
+#include "sgx/tlibc_stdio.hpp"
 
 using namespace zc;
 
@@ -21,7 +22,7 @@ int main() {
   SimConfig cfg;
   auto enclave = Enclave::create(cfg);
   EnclaveLibc libc(*enclave);
-  enclave->set_backend(make_zc_backend(*enclave));
+  install_backend_spec(*enclave, "zc");
 
   CallProfiler profiler;
   enclave->set_profiler(&profiler);

@@ -12,8 +12,8 @@
 
 #include "apps/kissdb/kissdb.hpp"
 #include "common/cpu_meter.hpp"
-#include "core/zc_backend.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "core/backend_registry.hpp"
+#include "sgx/tlibc_stdio.hpp"
 
 using namespace zc;
 
@@ -66,15 +66,12 @@ int main(int argc, char** argv) {
   const double t_regular = run_sets(*enclave, libc, keys, path.string());
   std::cout << "  no_sl            : " << t_regular << " s\n";
 
-  intel::IntelSlConfig intel_cfg;
-  intel_cfg.num_workers = 2;
-  intel_cfg.switchless_fns = {libc.ids().fseeko, libc.ids().fread,
-                              libc.ids().fwrite};
-  enclave->set_backend(intel::make_intel_backend(*enclave, intel_cfg));
+  // The "well-configured" Intel static set for kissdb, by ocall name.
+  install_backend_spec(*enclave, "intel:sl=fseeko,fread,fwrite;workers=2");
   const double t_intel = run_sets(*enclave, libc, keys, path.string());
   std::cout << "  intel i-all-2    : " << t_intel << " s\n";
 
-  enclave->set_backend(make_zc_backend(*enclave));
+  install_backend_spec(*enclave, "zc");
   const double t_zc = run_sets(*enclave, libc, keys, path.string());
   std::cout << "  zc (configless)  : " << t_zc << " s\n";
 

@@ -1,14 +1,14 @@
 // Quickstart: create a simulated enclave, register an ocall, and run it
-// through the three call backends (regular, Intel switchless, ZC).
+// through every registered call backend (regular, Intel switchless,
+// HotCalls, ZC).
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [backend-spec...]
 //
 // Shows the core API surface in ~80 lines: Enclave::create, ocall
-// registration, backend installation, typed ocalls, and stats.
+// registration, spec-string backend selection, typed ocalls, and stats.
 #include <iostream>
 
-#include "core/zc_backend.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "core/backend_registry.hpp"
 #include "sgx/enclave.hpp"
 
 using namespace zc;
@@ -19,7 +19,7 @@ struct HashArgs {
   std::uint64_t digest = 0;  // returned by the untrusted side
 };
 
-int main() {
+int main(int argc, char** argv) {
   // 1. "Load" an enclave. Costs are modelled on the paper's testbed:
   //    ~13,500 cycles per ocall round trip, 8 logical CPUs.
   SimConfig cfg;
@@ -36,32 +36,41 @@ int main() {
         args->digest = h;
       });
 
-  auto demo = [&](const char* label) {
+  auto demo = [&](const std::string& spec) {
+    // 3. Select the backend by registry spec string — the same strings the
+    //    benches accept via --backend=SPEC.
+    install_backend_spec(*enclave, spec);
     HashArgs args;
     args.input = 42;
     const CallPath path = enclave->ocall(hash_id, args);
     const auto& stats = enclave->backend().stats();
-    std::cout << label << ": digest=" << std::hex << args.digest << std::dec
+    std::cout << spec << ": digest=" << std::hex << args.digest << std::dec
               << " path=" << to_string(path)
               << " (switchless=" << stats.switchless_calls.load()
               << " regular=" << stats.regular_calls.load()
               << " fallback=" << stats.fallback_calls.load() << ")\n";
   };
 
-  // 3a. Default backend: every ocall pays a full enclave transition.
-  demo("no_sl   ");
-
-  // 3b. Intel-style switchless: static call set + fixed workers.
-  intel::IntelSlConfig intel_cfg;
-  intel_cfg.num_workers = 2;
-  intel_cfg.switchless_fns = {hash_id};  // chosen at "build time"
-  enclave->set_backend(intel::make_intel_backend(*enclave, intel_cfg));
-  demo("intel_sl");
-
-  // 3c. ZC-Switchless: no call list, no worker count — the scheduler
-  //     adapts at run time and idle-worker availability decides per call.
-  enclave->set_backend(make_zc_backend(*enclave));
-  demo("zc      ");
+  try {
+    if (argc > 1) {
+      for (int i = 1; i < argc; ++i) demo(argv[i]);
+    } else {
+      // The four paper backends:
+      //   no_sl    — every ocall pays a full enclave transition;
+      //   intel    — static call set ("build time") + fixed workers;
+      //   hotcalls — always-hot responder threads;
+      //   zc       — no call list, no worker count: the scheduler adapts
+      //              at run time, idle-worker availability decides per call.
+      demo("no_sl");
+      demo("intel:sl=hash;workers=2");
+      demo("hotcalls:workers=2");
+      demo("zc");
+    }
+  } catch (const BackendSpecError& e) {
+    std::cerr << "bad backend spec: " << e.what() << "\n\n"
+              << BackendRegistry::instance().help();
+    return 2;
+  }
 
   std::cout << "ocall transitions paid so far: "
             << enclave->transitions().eexit_count() << "\n";

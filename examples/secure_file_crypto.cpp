@@ -11,7 +11,8 @@
 #include <iostream>
 
 #include "apps/crypto/file_crypto.hpp"
-#include "core/zc_backend.hpp"
+#include "core/backend_registry.hpp"
+#include "sgx/tlibc_stdio.hpp"
 
 using namespace zc;
 
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   auto enclave = Enclave::create(cfg);
   EnclaveLibc libc(*enclave);
-  enclave->set_backend(make_zc_backend(*enclave));  // configless switchless
+  install_backend_spec(*enclave, "zc");  // configless switchless
 
   // In-enclave key material (toy constants for the demo).
   std::uint8_t key[32];

@@ -1,0 +1,451 @@
+#include "core/backend_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <limits>
+
+#include "core/zc_backend.hpp"
+#include "hotcalls/hotcalls.hpp"
+#include "intel_sl/intel_backend.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool valid_ident(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '-';
+  });
+}
+
+bool all_digits(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), [](char c) {
+    return c >= '0' && c <= '9';
+  });
+}
+
+[[noreturn]] void bad_value(std::string_view name, std::string_view value,
+                            std::string_view want) {
+  throw BackendSpecError("option '" + std::string(name) + "': bad value '" +
+                         std::string(value) + "' (expected " +
+                         std::string(want) + ")");
+}
+
+std::uint64_t parse_u64(std::string_view name, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_value(name, value, "a non-negative integer");
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- BackendSpec -----------------------------------------------------------
+
+BackendSpec BackendSpec::parse(std::string_view text) {
+  BackendSpec spec;
+  const std::string_view whole = trim(text);
+  if (whole.empty()) throw BackendSpecError("empty backend spec");
+
+  const std::size_t colon = whole.find(':');
+  const std::string_view key = trim(whole.substr(0, colon));
+  if (!valid_ident(key)) {
+    throw BackendSpecError("bad backend key '" + std::string(key) +
+                           "' in spec '" + std::string(whole) + "'");
+  }
+  spec.key = std::string(key);
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = whole.substr(colon + 1);
+  if (trim(rest).empty()) {
+    throw BackendSpecError("spec '" + std::string(whole) +
+                           "': expected options after ':'");
+  }
+  char prev_sep = ':';
+  while (!rest.empty()) {
+    const std::size_t sep = rest.find_first_of(";,");
+    const std::string_view segment = trim(rest.substr(0, sep));
+    const char next_sep = sep == std::string_view::npos ? '\0' : rest[sep];
+    rest = sep == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sep + 1);
+    if (segment.empty()) {
+      throw BackendSpecError("spec '" + std::string(whole) +
+                             "': empty option segment");
+    }
+    const std::size_t eq = segment.find('=');
+    if (eq == std::string_view::npos) {
+      // Bare value: extends the previous option's value list, which is how
+      // `sl=read,write` carries a list through the ',' separator.  Only a
+      // ','-joined segment continues a list; after ';' a bare value is a
+      // typo'd option, not a continuation.
+      if (spec.options.empty() || prev_sep != ',') {
+        throw BackendSpecError(
+            "spec '" + std::string(whole) + "': bare value '" +
+            std::string(segment) +
+            "' (expected name=value; only ',' continues a value list)");
+      }
+      spec.options.back().values.emplace_back(segment);
+      prev_sep = next_sep;
+      continue;
+    }
+    prev_sep = next_sep;
+    const std::string_view name = trim(segment.substr(0, eq));
+    const std::string_view value = trim(segment.substr(eq + 1));
+    if (!valid_ident(name)) {
+      throw BackendSpecError("spec '" + std::string(whole) +
+                             "': bad option name '" + std::string(name) + "'");
+    }
+    if (value.empty()) {
+      throw BackendSpecError("spec '" + std::string(whole) + "': option '" +
+                             std::string(name) + "' has an empty value");
+    }
+    if (spec.find(name) != nullptr) {
+      throw BackendSpecError("spec '" + std::string(whole) +
+                             "': duplicate option '" + std::string(name) +
+                             "'");
+    }
+    spec.options.push_back(
+        Option{std::string(name), {std::string(value)}});
+  }
+  return spec;
+}
+
+std::string BackendSpec::to_string() const {
+  std::string out = key;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    out += i == 0 ? ':' : ';';
+    out += options[i].name;
+    out += '=';
+    out += join(options[i].values, ',');
+  }
+  return out;
+}
+
+const BackendSpec::Option* BackendSpec::find(
+    std::string_view name) const noexcept {
+  for (const auto& opt : options) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const std::string& single_value(const BackendSpec::Option& opt) {
+  if (opt.values.size() != 1) {
+    throw BackendSpecError("option '" + opt.name +
+                           "' expects a single value, got a list of " +
+                           std::to_string(opt.values.size()));
+  }
+  return opt.values.front();
+}
+
+}  // namespace
+
+std::string BackendSpec::get_string(std::string_view name,
+                                    std::string fallback) const {
+  const Option* opt = find(name);
+  return opt == nullptr ? fallback : single_value(*opt);
+}
+
+std::uint64_t BackendSpec::get_u64(std::string_view name,
+                                   std::uint64_t fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr) return fallback;
+  return parse_u64(name, single_value(*opt));
+}
+
+unsigned BackendSpec::get_unsigned(std::string_view name,
+                                   unsigned fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr) return fallback;
+  const std::uint64_t v = parse_u64(name, single_value(*opt));
+  if (v > std::numeric_limits<unsigned>::max()) {
+    bad_value(name, single_value(*opt), "an unsigned 32-bit integer");
+  }
+  return static_cast<unsigned>(v);
+}
+
+double BackendSpec::get_double(std::string_view name, double fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr) return fallback;
+  const std::string& value = single_value(*opt);
+  double out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_value(name, value, "a floating-point number");
+  }
+  return out;
+}
+
+bool BackendSpec::get_bool(std::string_view name, bool fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr) return fallback;
+  const std::string& value = single_value(*opt);
+  if (value == "on" || value == "true" || value == "yes" || value == "1") {
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "no" || value == "0") {
+    return false;
+  }
+  bad_value(name, value, "on/off");
+}
+
+std::vector<std::string> BackendSpec::get_list(std::string_view name) const {
+  const Option* opt = find(name);
+  return opt == nullptr ? std::vector<std::string>{} : opt->values;
+}
+
+// --- Built-in builders -----------------------------------------------------
+
+namespace {
+
+std::unique_ptr<CallBackend> build_no_sl(Enclave& enclave,
+                                         const BackendSpec& /*spec*/,
+                                         CpuUsageMeter* /*meter*/) {
+  return std::make_unique<RegularBackend>(enclave);
+}
+
+std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
+                                      const BackendSpec& spec,
+                                      CpuUsageMeter* meter) {
+  ZcConfig cfg;
+  cfg.meter = meter;
+  const std::uint64_t quantum_us = spec.get_u64(
+      "quantum_us", static_cast<std::uint64_t>(cfg.quantum.count()));
+  if (quantum_us == 0) {
+    throw BackendSpecError("zc: quantum_us must be > 0");
+  }
+  cfg.quantum = std::chrono::microseconds(quantum_us);
+  cfg.mu = spec.get_double("mu", cfg.mu);
+  if (cfg.mu <= 0.0 || cfg.mu > 1.0) {
+    throw BackendSpecError("zc: mu must be in (0, 1]");
+  }
+  cfg.max_workers = spec.get_unsigned("max_workers", cfg.max_workers);
+  cfg.worker_pool_bytes = spec.get_u64("pool_bytes", cfg.worker_pool_bytes);
+  if (cfg.worker_pool_bytes == 0) {
+    throw BackendSpecError("zc: pool_bytes must be > 0");
+  }
+  cfg.scheduler_enabled = spec.get_bool("scheduler", cfg.scheduler_enabled);
+  if (spec.has("workers")) {
+    const unsigned w = spec.get_unsigned("workers", 0);
+    cfg.with_initial_workers(w);
+    // Honour explicit counts beyond the default N/2 probe range.
+    if (cfg.max_workers == 0 &&
+        w > cfg.resolved_max_workers(enclave.config().logical_cpus)) {
+      cfg.max_workers = w;
+    }
+  }
+  return make_zc_backend(enclave, cfg);
+}
+
+std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
+                                         const BackendSpec& spec,
+                                         CpuUsageMeter* meter) {
+  intel::IntelSlConfig cfg;
+  cfg.meter = meter;
+  cfg.num_workers = spec.get_unsigned("workers", cfg.num_workers);
+  const std::uint64_t rbf = spec.get_u64("rbf", cfg.retries_before_fallback);
+  const std::uint64_t rbs = spec.get_u64("rbs", cfg.retries_before_sleep);
+  if (rbf > std::numeric_limits<std::uint32_t>::max() ||
+      rbs > std::numeric_limits<std::uint32_t>::max()) {
+    throw BackendSpecError("intel: rbf/rbs must fit in 32 bits");
+  }
+  cfg.retries_before_fallback = static_cast<std::uint32_t>(rbf);
+  cfg.retries_before_sleep = static_cast<std::uint32_t>(rbs);
+  cfg.task_pool_slots = spec.get_unsigned("pool_slots", cfg.task_pool_slots);
+  if (cfg.task_pool_slots == 0) {
+    throw BackendSpecError("intel: pool_slots must be > 0");
+  }
+  cfg.slot_frame_bytes = spec.get_u64("frame_bytes", cfg.slot_frame_bytes);
+  if (cfg.slot_frame_bytes == 0) {
+    throw BackendSpecError("intel: frame_bytes must be > 0");
+  }
+  // The static switchless set: ocall names, numeric ids, or `all`.  Name
+  // resolution happens here, against this enclave's table — which is why
+  // registration must precede backend creation (as with edger8r tables).
+  const OcallTable& table = enclave.ocalls();
+  for (const std::string& fn : spec.get_list("sl")) {
+    if (fn == "all") {
+      for (std::uint32_t id = 0; id < table.size(); ++id) {
+        cfg.switchless_fns.insert(id);
+      }
+      continue;
+    }
+    if (all_digits(fn)) {
+      const std::uint64_t id = parse_u64("sl", fn);
+      if (id >= table.size()) {
+        throw BackendSpecError("intel: sl id " + fn +
+                               " is not a registered ocall (table has " +
+                               std::to_string(table.size()) + " entries)");
+      }
+      cfg.switchless_fns.insert(static_cast<std::uint32_t>(id));
+      continue;
+    }
+    const auto id = table.find(fn);
+    if (!id.has_value()) {
+      throw BackendSpecError("intel: sl name '" + fn +
+                             "' is not a registered ocall");
+    }
+    cfg.switchless_fns.insert(*id);
+  }
+  return intel::make_intel_backend(enclave, cfg);
+}
+
+std::unique_ptr<CallBackend> build_hotcalls(Enclave& enclave,
+                                            const BackendSpec& spec,
+                                            CpuUsageMeter* meter) {
+  hotcalls::HotCallsConfig cfg;
+  cfg.meter = meter;
+  cfg.num_workers = spec.get_unsigned("workers", cfg.num_workers);
+  if (cfg.num_workers == 0) {
+    throw BackendSpecError("hotcalls: workers must be > 0");
+  }
+  cfg.slot_frame_bytes = spec.get_u64("frame_bytes", cfg.slot_frame_bytes);
+  if (cfg.slot_frame_bytes == 0) {
+    throw BackendSpecError("hotcalls: frame_bytes must be > 0");
+  }
+  return hotcalls::make_hotcalls_backend(enclave, cfg);
+}
+
+}  // namespace
+
+// --- BackendRegistry -------------------------------------------------------
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->register_backend(
+        {"no_sl", "every ocall pays a full enclave transition", {},
+         build_no_sl});
+    r->register_backend(
+        {"intel",
+         "Intel SDK switchless: static call set, fixed workers, rbf/rbs",
+         {"sl", "workers", "rbf", "rbs", "pool_slots", "frame_bytes"},
+         build_intel});
+    r->register_backend(
+        {"hotcalls", "always-hot responder threads (Weisse et al., ISCA'17)",
+         {"workers", "frame_bytes"}, build_hotcalls});
+    r->register_backend(
+        {"zc", "ZC-Switchless: configless adaptive workers",
+         {"workers", "max_workers", "quantum_us", "mu", "pool_bytes",
+          "scheduler"},
+         build_zc});
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::register_backend(Entry entry) {
+  if (!valid_ident(entry.key)) {
+    throw BackendSpecError("bad backend key '" + entry.key + "'");
+  }
+  if (contains(entry.key)) {
+    throw BackendSpecError("backend '" + entry.key + "' already registered");
+  }
+  if (!entry.builder) {
+    throw BackendSpecError("backend '" + entry.key + "' has no builder");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool BackendRegistry::contains(std::string_view key) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.key == key; });
+}
+
+std::vector<std::string> BackendRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.key);
+  return out;
+}
+
+const BackendRegistry::Entry& BackendRegistry::entry_for(
+    const BackendSpec& spec) const {
+  for (const auto& entry : entries_) {
+    if (entry.key == spec.key) {
+      for (const auto& opt : spec.options) {
+        if (std::find(entry.option_names.begin(), entry.option_names.end(),
+                      opt.name) == entry.option_names.end()) {
+          throw BackendSpecError(
+              "backend '" + spec.key + "' has no option '" + opt.name +
+              "' (accepted: " +
+              (entry.option_names.empty() ? "none"
+                                          : join(entry.option_names, ',')) +
+              ")");
+        }
+      }
+      return entry;
+    }
+  }
+  throw BackendSpecError("unknown backend '" + spec.key +
+                         "' (known: " + join(keys(), ',') + ")");
+}
+
+std::unique_ptr<CallBackend> BackendRegistry::create(
+    Enclave& enclave, std::string_view spec_text, CpuUsageMeter* meter) const {
+  return create(enclave, BackendSpec::parse(spec_text), meter);
+}
+
+std::unique_ptr<CallBackend> BackendRegistry::create(Enclave& enclave,
+                                                     const BackendSpec& spec,
+                                                     CpuUsageMeter* meter) const {
+  return entry_for(spec).builder(enclave, spec, meter);
+}
+
+void BackendRegistry::validate(std::string_view spec_text) const {
+  entry_for(BackendSpec::parse(spec_text));
+}
+
+std::string BackendRegistry::help() const {
+  std::string out =
+      "backend spec: key[:opt=value{,value}[;opt=value...]]\n"
+      "  e.g. \"no_sl\", \"zc:workers=4,quantum_us=10000\",\n"
+      "       \"intel:sl=read,write;workers=2;rbf=20000\",\n"
+      "       \"hotcalls:workers=2\"\n";
+  for (const auto& entry : entries_) {
+    out += "  " + entry.key + " — " + entry.summary + "\n";
+    out += "      options: " +
+           (entry.option_names.empty() ? "none"
+                                       : join(entry.option_names, ',')) +
+           "\n";
+  }
+  return out;
+}
+
+void install_backend_spec(Enclave& enclave, std::string_view spec_text,
+                          CpuUsageMeter* meter) {
+  enclave.set_backend(
+      BackendRegistry::instance().create(enclave, spec_text, meter));
+}
+
+}  // namespace zc

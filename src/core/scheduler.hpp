@@ -26,8 +26,12 @@ namespace zc {
 
 class ZcScheduler {
  public:
-  /// `workers` must outlive the scheduler; `fallbacks` is the backend's
-  /// fallback counter the probe windows difference.
+  /// `workers`, `stats` and `active_count` must outlive the scheduler.
+  /// `stats` is the backend's shared counter block: during a configuration
+  /// phase the scheduler samples its fallback counter at each probe-window
+  /// boundary and uses the per-window difference as F_i in the wasted-cycle
+  /// objective U_i.  `active_count` is the callers' scan bound, published
+  /// via set_active().
   ZcScheduler(Enclave& enclave, const ZcConfig& cfg,
               std::vector<std::unique_ptr<ZcWorker>>& workers,
               BackendStats& stats, std::atomic<unsigned>& active_count);

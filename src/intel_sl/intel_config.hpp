@@ -15,6 +15,12 @@
 
 namespace zc::intel {
 
+/// The SDK's default retry budget, shared by rbf and rbs
+/// (SL_DEFAULT_MAX_RETRIES in sgx_uswitchless.h).  The single source of
+/// truth for every layer that needs "the SDK default": this config, the
+/// backend registry, the workload harness and the rbf/rbs ablation bench.
+inline constexpr std::uint32_t kSdkDefaultRetries = 20'000;
+
 struct IntelSlConfig {
   /// Untrusted worker threads serving switchless ocalls
   /// (SDK: num_uworkers). The paper evaluates 2 and 4.
@@ -22,12 +28,11 @@ struct IntelSlConfig {
 
   /// Busy-wait retries (one `pause` each) a caller performs waiting for a
   /// worker to *start* its pending task before falling back to a regular
-  /// ocall. SDK default: 20,000 (§III-C calls this value "abnormal").
-  std::uint32_t retries_before_fallback = 20'000;
+  /// ocall. §III-C calls the SDK default "abnormal".
+  std::uint32_t retries_before_fallback = kSdkDefaultRetries;
 
   /// Idle `pause` retries a worker performs before going to sleep.
-  /// SDK default: 20,000.
-  std::uint32_t retries_before_sleep = 20'000;
+  std::uint32_t retries_before_sleep = kSdkDefaultRetries;
 
   /// Task-pool slots (pending switchless requests). When the pool is full
   /// the call falls back immediately (SDK behaviour).

@@ -1,0 +1,27 @@
+#include "sgx/backend.hpp"
+
+namespace zc {
+
+const char* to_string(CallPath path) noexcept {
+  switch (path) {
+    case CallPath::kRegular:
+      return "regular";
+    case CallPath::kSwitchless:
+      return "switchless";
+    case CallPath::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+const char* to_string(CallDirection direction) noexcept {
+  switch (direction) {
+    case CallDirection::kOcall:
+      return "ocall";
+    case CallDirection::kEcall:
+      return "ecall";
+  }
+  return "?";
+}
+
+}  // namespace zc

@@ -32,6 +32,7 @@ enum class CallPath : std::uint8_t {
 };
 
 const char* to_string(CallPath path) noexcept;
+const char* to_string(CallDirection direction) noexcept;
 
 /// Counters shared by all backends (padded; updated from many threads).
 struct BackendStats {

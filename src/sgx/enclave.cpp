@@ -8,18 +8,6 @@
 
 namespace zc {
 
-const char* to_string(CallPath path) noexcept {
-  switch (path) {
-    case CallPath::kRegular:
-      return "regular";
-    case CallPath::kSwitchless:
-      return "switchless";
-    case CallPath::kFallback:
-      return "fallback";
-  }
-  return "?";
-}
-
 Enclave::Enclave(const SimConfig& cfg) : cfg_(cfg), transitions_(cfg) {
   backend_ = std::make_unique<RegularBackend>(*this);
   ecall_backend_ = std::make_unique<RegularEcallBackend>(*this);

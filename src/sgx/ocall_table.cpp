@@ -17,6 +17,14 @@ void OcallTable::dispatch(std::uint32_t id, MarshalledCall& call) const {
   entries_[id].handler(call);
 }
 
+std::optional<std::uint32_t> OcallTable::find(
+    std::string_view name) const noexcept {
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].name == name) return static_cast<std::uint32_t>(id);
+  }
+  return std::nullopt;
+}
+
 const std::string& OcallTable::name(std::uint32_t id) const {
   if (id >= entries_.size()) {
     throw std::out_of_range("ocall id out of range: " + std::to_string(id));

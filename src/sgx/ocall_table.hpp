@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace zc {
@@ -34,6 +36,12 @@ class OcallTable {
   void dispatch(std::uint32_t id, MarshalledCall& call) const;
 
   const std::string& name(std::uint32_t id) const;
+
+  /// Id of the first handler registered under `name`, if any.  Names need
+  /// not be unique (see the synthetic f/f#alias pair); the earliest
+  /// registration wins, matching the primary-id convention.
+  std::optional<std::uint32_t> find(std::string_view name) const noexcept;
+
   std::size_t size() const noexcept { return entries_.size(); }
 
  private:

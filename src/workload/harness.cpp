@@ -4,31 +4,51 @@
 
 namespace zc::workload {
 
+ModeSpec ModeSpec::parse(std::string spec_text, std::string label) {
+  BackendRegistry::instance().validate(spec_text);
+  ModeSpec mode;
+  mode.label = label.empty() ? spec_text : std::move(label);
+  mode.spec = std::move(spec_text);
+  return mode;
+}
+
+ModeSpec ModeSpec::intel(std::string label,
+                         const std::vector<std::string>& switchless,
+                         unsigned workers) {
+  std::string spec = "intel:";
+  if (!switchless.empty()) {
+    spec += "sl=";
+    for (std::size_t i = 0; i < switchless.size(); ++i) {
+      if (i != 0) spec += ',';
+      spec += switchless[i];
+    }
+    spec += ';';
+  }
+  spec += "workers=" + std::to_string(workers);
+  ModeSpec mode;
+  mode.label = std::move(label);
+  mode.spec = std::move(spec);
+  return mode;
+}
+
+ModeSpec ModeSpec::zc_mode(std::string options) {
+  ModeSpec mode;
+  mode.label = "zc";
+  mode.spec = options.empty() ? "zc" : "zc:" + std::move(options);
+  return mode;
+}
+
+ModeSpec ModeSpec::hotcalls(unsigned workers) {
+  ModeSpec mode;
+  mode.label = "hotcalls-" + std::to_string(workers);
+  mode.spec = "hotcalls:workers=" + std::to_string(workers);
+  return mode;
+}
+
 void install_backend(Enclave& enclave, const ModeSpec& spec,
                      CpuUsageMeter* meter) {
-  switch (spec.mode) {
-    case Mode::kNoSl: {
-      enclave.set_backend(std::make_unique<RegularBackend>(enclave));
-      break;
-    }
-    case Mode::kIntel: {
-      intel::IntelSlConfig cfg;
-      cfg.num_workers = spec.intel_workers;
-      cfg.retries_before_fallback = spec.intel_rbf;
-      cfg.retries_before_sleep = spec.intel_rbs;
-      cfg.switchless_fns.insert(spec.intel_switchless.begin(),
-                                spec.intel_switchless.end());
-      cfg.meter = meter;
-      enclave.set_backend(intel::make_intel_backend(enclave, cfg));
-      break;
-    }
-    case Mode::kZc: {
-      ZcConfig cfg = spec.zc;
-      cfg.meter = meter;
-      enclave.set_backend(make_zc_backend(enclave, cfg));
-      break;
-    }
-  }
+  enclave.set_backend(
+      BackendRegistry::instance().create(enclave, spec.spec, meter));
 }
 
 SimThreadScope::SimThreadScope(const Enclave& enclave, CpuUsageMeter* meter)

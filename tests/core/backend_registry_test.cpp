@@ -1,0 +1,223 @@
+#include "core/backend_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sgx/enclave.hpp"
+#include "workload/synthetic.hpp"
+
+namespace zc {
+namespace {
+
+// --- Spec parsing ----------------------------------------------------------
+
+TEST(BackendSpecTest, KeyOnly) {
+  const auto spec = BackendSpec::parse("no_sl");
+  EXPECT_EQ(spec.key, "no_sl");
+  EXPECT_TRUE(spec.options.empty());
+  EXPECT_EQ(spec.to_string(), "no_sl");
+}
+
+TEST(BackendSpecTest, ScalarOptions) {
+  const auto spec = BackendSpec::parse("zc:workers=4,quantum_us=10000");
+  EXPECT_EQ(spec.key, "zc");
+  ASSERT_EQ(spec.options.size(), 2u);
+  EXPECT_EQ(spec.get_unsigned("workers", 0), 4u);
+  EXPECT_EQ(spec.get_u64("quantum_us", 0), 10'000u);
+  EXPECT_EQ(spec.get_u64("absent", 7), 7u);
+}
+
+TEST(BackendSpecTest, BareValuesExtendThePreviousOptionList) {
+  const auto spec =
+      BackendSpec::parse("intel:sl=read,write;workers=2;rbf=20000");
+  EXPECT_EQ(spec.key, "intel");
+  ASSERT_EQ(spec.options.size(), 3u);
+  EXPECT_EQ(spec.get_list("sl"),
+            (std::vector<std::string>{"read", "write"}));
+  EXPECT_EQ(spec.get_unsigned("workers", 0), 2u);
+  EXPECT_EQ(spec.get_u64("rbf", 0), 20'000u);
+}
+
+TEST(BackendSpecTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"no_sl", "zc:workers=4,quantum_us=10000",
+        "intel:sl=read,write;workers=2;rbf=20000", "hotcalls:workers=2",
+        "zc:scheduler=off,mu=0.01"}) {
+    const auto spec = BackendSpec::parse(text);
+    const std::string canon = spec.to_string();
+    const auto again = BackendSpec::parse(canon);
+    EXPECT_EQ(again.to_string(), canon) << text;
+    EXPECT_EQ(again.key, spec.key) << text;
+    ASSERT_EQ(again.options.size(), spec.options.size()) << text;
+    for (std::size_t i = 0; i < spec.options.size(); ++i) {
+      EXPECT_EQ(again.options[i].name, spec.options[i].name) << text;
+      EXPECT_EQ(again.options[i].values, spec.options[i].values) << text;
+    }
+  }
+}
+
+TEST(BackendSpecTest, WhitespaceIsTrimmed) {
+  const auto spec = BackendSpec::parse("  zc : workers = 4 , quantum_us=1 ");
+  EXPECT_EQ(spec.key, "zc");
+  EXPECT_EQ(spec.get_unsigned("workers", 0), 4u);
+  EXPECT_EQ(spec.to_string(), "zc:workers=4;quantum_us=1");
+}
+
+TEST(BackendSpecTest, GrammarViolationsThrow) {
+  EXPECT_THROW(BackendSpec::parse(""), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("  "), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("Bad Key"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc:"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc:,workers=1"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc:workers"), BackendSpecError);  // bare
+  EXPECT_THROW(BackendSpec::parse("zc:=4"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc:workers="), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc:workers=1;workers=2"),
+               BackendSpecError);
+  // Only ',' continues a value list: a bare value after ';' is a typo'd
+  // option, not a silent extension of the previous list.
+  EXPECT_THROW(BackendSpec::parse("zc:workers=2;4"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("intel:sl=f;g"), BackendSpecError);
+}
+
+TEST(BackendSpecTest, TypedAccessorsRejectBadValues) {
+  const auto spec = BackendSpec::parse("zc:workers=abc,mu=x,flag=maybe");
+  EXPECT_THROW(spec.get_unsigned("workers", 0), BackendSpecError);
+  EXPECT_THROW(spec.get_double("mu", 0.5), BackendSpecError);
+  EXPECT_THROW(spec.get_bool("flag", true), BackendSpecError);
+  const auto list = BackendSpec::parse("intel:sl=a,b");
+  EXPECT_THROW(list.get_string("sl", ""), BackendSpecError);  // not scalar
+}
+
+TEST(BackendSpecTest, BoolSpellings) {
+  EXPECT_TRUE(BackendSpec::parse("zc:scheduler=on").get_bool("scheduler",
+                                                             false));
+  EXPECT_TRUE(BackendSpec::parse("zc:scheduler=1").get_bool("scheduler",
+                                                            false));
+  EXPECT_FALSE(BackendSpec::parse("zc:scheduler=off").get_bool("scheduler",
+                                                               true));
+  EXPECT_FALSE(BackendSpec::parse("zc:scheduler=no").get_bool("scheduler",
+                                                              true));
+}
+
+// --- Registry creation -----------------------------------------------------
+
+class BackendRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 200;
+    enclave_ = Enclave::create(cfg);
+    ids_ = workload::register_synthetic_ocalls(enclave_->ocalls());
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  workload::SyntheticOcalls ids_;
+};
+
+TEST_F(BackendRegistryTest, KnowsThePaperBackends) {
+  auto& registry = BackendRegistry::instance();
+  for (const char* key : {"no_sl", "intel", "hotcalls", "zc"}) {
+    EXPECT_TRUE(registry.contains(key)) << key;
+  }
+  EXPECT_FALSE(registry.contains("warp_drive"));
+  EXPECT_NE(registry.help().find("zc"), std::string::npos);
+}
+
+TEST_F(BackendRegistryTest, CreatesEachBuiltin) {
+  auto& registry = BackendRegistry::instance();
+  const std::pair<const char*, const char*> expect[] = {
+      {"no_sl", "no_sl"},
+      {"intel:sl=all;workers=2", "intel_sl"},
+      {"hotcalls:workers=2", "hotcalls"},
+      {"zc", "zc"},
+  };
+  for (const auto& [spec, name] : expect) {
+    auto backend = registry.create(*enclave_, spec);
+    ASSERT_NE(backend, nullptr) << spec;
+    EXPECT_STREQ(backend->name(), name) << spec;
+  }
+}
+
+TEST_F(BackendRegistryTest, SpecOptionsReachTheBackend) {
+  install_backend_spec(*enclave_, "zc:scheduler=off,workers=3");
+  EXPECT_EQ(enclave_->backend().active_workers(), 3u);
+
+  // rbf effectively unbounded: on few-core hosts the default budget
+  // expires before a worker is scheduled, and this asserts the path.
+  install_backend_spec(*enclave_, "intel:sl=f;workers=2;rbf=2000000000");
+  workload::FArgs fargs;
+  EXPECT_EQ(enclave_->ocall(ids_.f_a, fargs), CallPath::kSwitchless);
+  // g is outside the static set: regular path.
+  workload::GArgs gargs;
+  gargs.pauses = 0;
+  EXPECT_EQ(enclave_->ocall(ids_.g_a, gargs), CallPath::kRegular);
+  enclave_->set_backend(nullptr);
+}
+
+TEST_F(BackendRegistryTest, IntelSlAcceptsNamesIdsAndAll) {
+  auto& registry = BackendRegistry::instance();
+  // By name and by numeric id.
+  const std::string rbf = ";rbf=2000000000";  // wait out slow hosts
+  const std::string specs[] = {"intel:sl=g" + rbf,
+                               "intel:sl=" + std::to_string(ids_.g_a) + rbf};
+  for (const std::string& spec : specs) {
+    install_backend_spec(*enclave_, spec);
+    workload::GArgs gargs;
+    gargs.pauses = 0;
+    EXPECT_EQ(enclave_->ocall(ids_.g_a, gargs), CallPath::kSwitchless)
+        << spec;
+    enclave_->set_backend(nullptr);
+  }
+  // Unknown name / out-of-range id.
+  EXPECT_THROW(registry.create(*enclave_, "intel:sl=nope"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "intel:sl=999"), BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, UnknownKeysAndOptionsAreRejected) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_THROW(registry.create(*enclave_, "warp_drive"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc:rbf=7"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "no_sl:workers=2"),
+               BackendSpecError);
+  EXPECT_THROW(registry.validate("zc:bogus=1"), BackendSpecError);
+  registry.validate("zc:workers=2");  // value errors surface at create()
+}
+
+TEST_F(BackendRegistryTest, BadOptionValuesAreRejectedAtCreate) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_THROW(registry.create(*enclave_, "zc:quantum_us=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc:mu=1.5"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc:mu=abc"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc:pool_bytes=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "hotcalls:workers=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "intel:pool_slots=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "intel:rbf=99999999999"),
+               BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, CustomBackendsPlugIntoTheSpecPlane) {
+  auto& registry = BackendRegistry::instance();
+  if (!registry.contains("echo_test")) {
+    registry.register_backend(
+        {"echo_test", "no_sl clone used by the registry unit test",
+         {"tag"},
+         [](Enclave& enclave, const BackendSpec& spec, CpuUsageMeter*) {
+           spec.get_string("tag", "");  // typed access works for customs
+           return std::make_unique<RegularBackend>(enclave);
+         }});
+  }
+  auto backend = registry.create(*enclave_, "echo_test:tag=x");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "no_sl");
+  // Duplicate registration is rejected.
+  EXPECT_THROW(registry.register_backend({"zc", "dup", {}, nullptr}),
+               BackendSpecError);
+}
+
+}  // namespace
+}  // namespace zc

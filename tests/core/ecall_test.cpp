@@ -84,6 +84,9 @@ TEST_F(EcallTest, IntelSwitchlessEcallsWork) {
   intel::IntelSlConfig cfg;
   cfg.direction = CallDirection::kEcall;
   cfg.num_workers = 2;  // num_tworkers
+  // Unbounded rbf: on few-core hosts the default budget expires before a
+  // trusted worker is scheduled, and this test asserts the switchless path.
+  cfg.retries_before_fallback = 2'000'000'000;
   cfg.switchless_fns = {square_id_};
   enclave_->set_ecall_backend(
       std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "../test_util.hpp"
 #include "common/cpu_meter.hpp"
 #include "common/cycles.hpp"
 
@@ -143,6 +144,7 @@ TEST_F(HotCallsTest, StopIsIdempotentAndRoutesRegular) {
 }
 
 TEST_F(HotCallsTest, FasterThanRegularForShortCalls) {
+  ZC_SKIP_IF_FEWER_CORES_THAN(4);
   IncArgs args;
   // Best-case single-call latency: the minimum over many calls is robust
   // to scheduler noise from parallel test binaries.

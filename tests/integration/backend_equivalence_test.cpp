@@ -1,39 +1,60 @@
 // Functional equivalence across backends: the same application run must
-// produce identical results under no_sl, Intel switchless, and ZC — the
-// backends may only differ in *how* ocalls execute, never in what they do.
+// produce identical results under every registered backend — no_sl, Intel
+// switchless, HotCalls and ZC may only differ in *how* ocalls execute,
+// never in what they do.  The parameter list is derived from the registry,
+// so a newly registered backend is equivalence-checked automatically.
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 
 #include "apps/crypto/file_crypto.hpp"
 #include "apps/kissdb/kissdb.hpp"
-#include "core/zc_backend.hpp"
+#include "core/backend_registry.hpp"
 #include "tlibc/memcpy.hpp"
 #include "workload/harness.hpp"
 
 namespace zc {
 namespace {
 
-enum class Backend { kNoSl, kIntel2, kZc };
+// The equivalence spec for each registry key: small quanta / full static
+// sets so the switchless paths are actually exercised.  Unknown keys run
+// with their defaults, so future backends are covered the moment they are
+// registered.
+std::string equivalence_spec(const std::string& key) {
+  if (key == "intel") return "intel:sl=all;workers=2";
+  if (key == "zc") return "zc:quantum_us=5000";
+  if (key == "hotcalls") return "hotcalls:workers=2";
+  return key;
+}
 
-std::string backend_name(Backend b) {
-  switch (b) {
-    case Backend::kNoSl:
-      return "no_sl";
-    case Backend::kIntel2:
-      return "intel2";
-    case Backend::kZc:
-      return "zc";
+std::vector<std::string> all_backend_specs() {
+  std::vector<std::string> specs;
+  for (const auto& key : BackendRegistry::instance().keys()) {
+    specs.push_back(equivalence_spec(key));
   }
-  return "?";
+  return specs;
+}
+
+TEST(BackendEquivalenceCoverage, EveryRegistryKeyIsChecked) {
+  // INSTANTIATE below iterates all_backend_specs(); this guards that the
+  // list really spans the registry (incl. hotcalls).
+  const auto keys = BackendRegistry::instance().keys();
+  EXPECT_GE(keys.size(), 4u);
+  for (const char* key : {"no_sl", "intel", "hotcalls", "zc"}) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), key) != keys.end())
+        << key;
+  }
 }
 
 class BackendEquivalenceTest
-    : public ::testing::TestWithParam<std::tuple<Backend, tlibc::MemcpyKind>> {
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, tlibc::MemcpyKind>> {
  protected:
   void SetUp() override {
     SimConfig cfg;
@@ -41,35 +62,12 @@ class BackendEquivalenceTest
     enclave_ = Enclave::create(cfg);
     libc_ = std::make_unique<EnclaveLibc>(*enclave_);
     base_ = testutil::unique_tmp_path("zc_equiv");
-    install();
+    install_backend_spec(*enclave_, std::get<0>(GetParam()));
   }
   void TearDown() override {
+    enclave_->set_backend(nullptr);  // join worker threads promptly
     for (const auto& suffix : {".db", ".plain", ".cipher", ".out"}) {
       std::filesystem::remove(base_.string() + suffix);
-    }
-  }
-
-  void install() {
-    switch (std::get<0>(GetParam())) {
-      case Backend::kNoSl:
-        break;  // default
-      case Backend::kIntel2: {
-        intel::IntelSlConfig cfg;
-        cfg.num_workers = 2;
-        // Make the stdio ocalls switchless, like i-all in the paper.
-        for (std::uint32_t id = 0; id < enclave_->ocalls().size(); ++id) {
-          cfg.switchless_fns.insert(id);
-        }
-        enclave_->set_backend(
-            std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
-        break;
-      }
-      case Backend::kZc: {
-        ZcConfig cfg;
-        cfg.quantum = std::chrono::microseconds(5'000);
-        enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
-        break;
-      }
     }
   }
 
@@ -123,13 +121,17 @@ TEST_P(BackendEquivalenceTest, FileCryptoRoundTripIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackendsAndMemcpys, BackendEquivalenceTest,
-    ::testing::Combine(::testing::Values(Backend::kNoSl, Backend::kIntel2,
-                                         Backend::kZc),
+    ::testing::Combine(::testing::ValuesIn(all_backend_specs()),
                        ::testing::Values(tlibc::MemcpyKind::kIntel,
                                          tlibc::MemcpyKind::kZc)),
     [](const auto& info) {
-      return backend_name(std::get<0>(info.param)) + "_" +
-             tlibc::to_string(std::get<1>(info.param));
+      // Spec strings carry ':=;,' — flatten to a valid gtest name.
+      std::string name = std::get<0>(info.param) + "_" +
+                         tlibc::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
     });
 
 }  // namespace

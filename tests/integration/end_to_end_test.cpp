@@ -8,6 +8,8 @@
 #include <limits>
 #include <thread>
 
+#include "../test_util.hpp"
+
 #include "common/cycles.hpp"
 #include "core/zc_backend.hpp"
 #include "intel_sl/intel_backend.hpp"
@@ -51,6 +53,7 @@ TEST_F(EndToEndTest, ZcEliminatesTransitionsForHotCalls) {
 }
 
 TEST_F(EndToEndTest, ZcOutperformsNoSlForShortCalls) {
+  ZC_SKIP_IF_FEWER_CORES_THAN(4);
   // Take-away 2: switchless wins when calls are short relative to Tes.
   SyntheticRunConfig run;
   run.total_calls = 20'000;

@@ -4,14 +4,15 @@
 // than performance properties.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <random>
 #include <thread>
 #include <vector>
 
+#include "core/backend_registry.hpp"
 #include "core/zc_backend.hpp"
-#include "hotcalls/hotcalls.hpp"
 #include "intel_sl/intel_backend.hpp"
 #include "workload/synthetic.hpp"
 
@@ -19,6 +20,21 @@ namespace zc {
 namespace {
 
 using namespace std::chrono_literals;
+
+// The hammers are sized for the paper's 8-wide machine.  With fewer host
+// cores every busy-wait hand-off costs a whole scheduler round, so the
+// same call counts would take tens of minutes of wall clock without
+// exercising any additional interleavings; scale the pressure down, keep
+// the structure (always >= 2 threads so races stay possible).
+unsigned scaled_threads(unsigned n) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return hw >= 8 ? n : std::max(2u, n * hw / 8);
+}
+
+std::uint64_t scaled_calls(std::uint64_t n) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return hw >= 8 ? n : std::max<std::uint64_t>(125, n * hw / 8);
+}
 
 struct SumArgs {
   std::uint64_t value = 0;
@@ -71,13 +87,15 @@ class StressTest : public ::testing::Test {
   std::atomic<std::uint64_t> total_{0};
 };
 
-TEST_F(StressTest, RegularBackendUnderPressure) { hammer(16, 2'000); }
+TEST_F(StressTest, RegularBackendUnderPressure) {
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
 
 TEST_F(StressTest, ZcBackendUnderPressure) {
   ZcConfig cfg;
   cfg.quantum = 2ms;  // aggressive scheduler churn during the run
   enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, cfg));
-  hammer(16, 2'000);
+  hammer(scaled_threads(16), scaled_calls(2'000));
 }
 
 TEST_F(StressTest, IntelBackendUnderPressure) {
@@ -88,14 +106,12 @@ TEST_F(StressTest, IntelBackendUnderPressure) {
   cfg.switchless_fns = {sum_id_};
   enclave_->set_backend(
       std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, cfg));
-  hammer(16, 2'000);
+  hammer(scaled_threads(16), scaled_calls(2'000));
 }
 
 TEST_F(StressTest, HotCallsBackendUnderPressure) {
-  hotcalls::HotCallsConfig cfg;
-  cfg.num_workers = 3;
-  enclave_->set_backend(hotcalls::make_hotcalls_backend(*enclave_, cfg));
-  hammer(16, 2'000);
+  install_backend_spec(*enclave_, "hotcalls:workers=3");
+  hammer(scaled_threads(16), scaled_calls(2'000));
 }
 
 TEST_F(StressTest, ZcTinyPoolsForceConstantResets) {
@@ -106,7 +122,7 @@ TEST_F(StressTest, ZcTinyPoolsForceConstantResets) {
   auto backend = std::make_unique<ZcBackend>(*enclave_, cfg);
   auto* raw = backend.get();
   enclave_->set_backend(std::move(backend));
-  hammer(8, 1'000);
+  hammer(scaled_threads(8), scaled_calls(1'000));
   EXPECT_GT(raw->stats().pool_resets.load(), 0u);
 }
 
@@ -128,7 +144,7 @@ TEST_F(StressTest, SchedulerChurnWhileCallersRun) {
       std::this_thread::sleep_for(200us);
     }
   });
-  hammer(8, 2'000);
+  hammer(scaled_threads(8), scaled_calls(2'000));
   stop.store(true);
 }
 
@@ -147,11 +163,13 @@ TEST_F(StressTest, MixedPayloadSizesAcrossWorkers) {
 
   std::atomic<int> corrupt{0};
   {
+    const unsigned threads_n = scaled_threads(8);
+    const std::uint64_t iters = scaled_calls(300);
     std::vector<std::jthread> threads;
-    for (int t = 0; t < 8; ++t) {
+    for (unsigned t = 0; t < threads_n; ++t) {
       threads.emplace_back([&, t] {
         std::mt19937 rng(static_cast<unsigned>(t));
-        for (int i = 0; i < 300; ++i) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
           const std::size_t n = 1 + rng() % 8'192;
           std::vector<std::uint8_t> in(n);
           std::vector<std::uint8_t> out(n);
@@ -184,19 +202,19 @@ TEST_F(StressTest, BackendHotSwapBetweenBatches) {
   // every call under all four policies in sequence.
   for (int round = 0; round < 3; ++round) {
     enclave_->set_backend(nullptr);
-    hammer(4, 250);
+    hammer(scaled_threads(4), scaled_calls(250));
     ZcConfig zcfg;
     zcfg.quantum = 2ms;
     enclave_->set_backend(std::make_unique<ZcBackend>(*enclave_, zcfg));
-    hammer(4, 250);
+    hammer(scaled_threads(4), scaled_calls(250));
     intel::IntelSlConfig icfg;
     icfg.num_workers = 2;
     icfg.switchless_fns = {sum_id_};
     enclave_->set_backend(
         std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, icfg));
-    hammer(4, 250);
-    enclave_->set_backend(hotcalls::make_hotcalls_backend(*enclave_, {}));
-    hammer(4, 250);
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(*enclave_, "hotcalls");
+    hammer(scaled_threads(4), scaled_calls(250));
   }
 }
 

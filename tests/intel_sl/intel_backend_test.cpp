@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "../test_util.hpp"
 #include "common/cycles.hpp"
 #include "sgx/enclave.hpp"
 
@@ -21,6 +22,13 @@ struct NopArgs {
 struct SpinArgs {
   std::uint64_t cycles = 0;
 };
+
+// On few-core hosts the SDK's default rbf budget (20k pauses) expires
+// before a worker thread is ever scheduled, turning every switchless
+// attempt into a fallback.  Tests asserting the switchless *path* use an
+// effectively unbounded rbf so the caller waits out the scheduler; the
+// rbf-expiry behaviour itself is covered by RbfExpiryFallsBackWhenWorkersBusy.
+constexpr std::uint32_t kWaitForWorker = 2'000'000'000;
 
 class IntelBackendTest : public ::testing::Test {
  protected:
@@ -69,6 +77,7 @@ TEST_F(IntelBackendTest, NonSwitchlessIdTakesRegularPath) {
 TEST_F(IntelBackendTest, SwitchlessCallAvoidsTransition) {
   IntelSlConfig cfg;
   cfg.num_workers = 2;
+  cfg.retries_before_fallback = kWaitForWorker;
   cfg.switchless_fns = {nop_id_};
   auto* backend = install(cfg);
   NopArgs args;
@@ -103,6 +112,9 @@ TEST_F(IntelBackendTest, ManySwitchlessCallsAllExecute) {
 }
 
 TEST_F(IntelBackendTest, RbfExpiryFallsBackWhenWorkersBusy) {
+  // Needs the worker to *accept* the occupier's long call concurrently;
+  // with one shared core that acceptance is a scheduler coin-flip.
+  ZC_SKIP_IF_FEWER_CORES_THAN(2);
   IntelSlConfig cfg;
   cfg.num_workers = 1;
   cfg.retries_before_fallback = 100;  // short rbf for the test
@@ -144,6 +156,7 @@ TEST_F(IntelBackendTest, OversizedFrameFallsBack) {
 TEST_F(IntelBackendTest, WorkersSleepAfterRbsAndWakeOnSubmit) {
   IntelSlConfig cfg;
   cfg.num_workers = 2;
+  cfg.retries_before_fallback = kWaitForWorker;
   cfg.retries_before_sleep = 200;  // sleep almost immediately when idle
   cfg.switchless_fns = {nop_id_};
   auto* backend = install(cfg);
@@ -174,6 +187,7 @@ TEST_F(IntelBackendTest, PayloadsFlowThroughWorkers) {
       });
   IntelSlConfig cfg;
   cfg.num_workers = 1;
+  cfg.retries_before_fallback = kWaitForWorker;
   cfg.switchless_fns = {echo_id};
   install(cfg);
 

@@ -1,0 +1,29 @@
+#include "sgx/backend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc {
+namespace {
+
+TEST(CallPathNames, CoverEveryPath) {
+  EXPECT_STREQ(to_string(CallPath::kRegular), "regular");
+  EXPECT_STREQ(to_string(CallPath::kSwitchless), "switchless");
+  EXPECT_STREQ(to_string(CallPath::kFallback), "fallback");
+}
+
+TEST(CallDirectionNames, CoverBothDirections) {
+  EXPECT_STREQ(to_string(CallDirection::kOcall), "ocall");
+  EXPECT_STREQ(to_string(CallDirection::kEcall), "ecall");
+}
+
+TEST(BackendStats, TotalSumsAllThreePaths) {
+  BackendStats stats;
+  stats.regular_calls.add();
+  stats.switchless_calls.add();
+  stats.switchless_calls.add();
+  stats.fallback_calls.add();
+  EXPECT_EQ(stats.total_calls(), 4u);
+}
+
+}  // namespace
+}  // namespace zc

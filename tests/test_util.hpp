@@ -7,6 +7,32 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
+#include <thread>
+
+namespace zc::testutil {
+
+/// Logical CPUs of the host running the tests (not the simulated machine).
+inline unsigned host_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace zc::testutil
+
+/// Skips performance-comparison tests on hosts too narrow to run
+/// switchless calls concurrently.  Every switchless design hands the call
+/// to a busy-waiting worker thread; when caller and worker share one core
+/// the hand-off costs a whole scheduler round instead of a cache-line
+/// bounce, inverting every "switchless is faster" property the paper
+/// (and these tests) assert.
+#define ZC_SKIP_IF_FEWER_CORES_THAN(n)                                   \
+  do {                                                                   \
+    if (zc::testutil::host_cpus() < (n)) {                               \
+      GTEST_SKIP() << "performance comparison needs >= " << (n)          \
+                   << " host CPUs for concurrent busy-wait hand-offs; "  \
+                   << "this host has " << zc::testutil::host_cpus();     \
+    }                                                                    \
+  } while (false)
 
 namespace zc::testutil {
 

@@ -29,7 +29,12 @@ TEST_F(HarnessTest, NoSlSpecInstallsRegularBackend) {
 }
 
 TEST_F(HarnessTest, IntelSpecInstallsConfiguredBackend) {
-  auto spec = ModeSpec::intel("i-f-2", {ids_.f_a, ids_.f_b}, 2);
+  EXPECT_EQ(ModeSpec::intel("i-f-2", {"f", "f#alias"}, 2).spec,
+            "intel:sl=f,f#alias;workers=2");
+  // Installed with an effectively unbounded rbf so the switchless-path
+  // assertions hold on few-core hosts too.
+  const auto spec =
+      ModeSpec::parse("intel:sl=f,f#alias;workers=2;rbf=2000000000", "i-f-2");
   install_backend(*enclave_, spec);
   EXPECT_STREQ(enclave_->backend().name(), "intel_sl");
   EXPECT_EQ(enclave_->backend().active_workers(), 2u);
@@ -42,19 +47,25 @@ TEST_F(HarnessTest, IntelSpecInstallsConfiguredBackend) {
 }
 
 TEST_F(HarnessTest, ZcSpecInstallsZcBackend) {
-  ZcConfig cfg;
-  cfg.scheduler_enabled = false;
-  cfg.with_initial_workers(1);
-  install_backend(*enclave_, ModeSpec::zc_mode(cfg));
+  install_backend(*enclave_, ModeSpec::zc_mode("scheduler=off,workers=1"));
   EXPECT_STREQ(enclave_->backend().name(), "zc");
   FArgs args;
   EXPECT_EQ(enclave_->ocall(ids_.f_a, args), CallPath::kSwitchless);
 }
 
+TEST_F(HarnessTest, HotcallsIsAFirstClassMode) {
+  install_backend(*enclave_, ModeSpec::hotcalls(2));
+  EXPECT_STREQ(enclave_->backend().name(), "hotcalls");
+  EXPECT_EQ(enclave_->backend().active_workers(), 2u);
+  FArgs args;
+  EXPECT_EQ(enclave_->ocall(ids_.f_a, args), CallPath::kSwitchless);
+  enclave_->set_backend(nullptr);
+}
+
 TEST_F(HarnessTest, MeterReachesIntelWorkers) {
   CpuUsageMeter meter(8);
-  auto spec = ModeSpec::intel("i-f-2", {ids_.f_a}, 2);
-  spec.intel_rbs = 1'000'000'000;  // keep workers spinning (never sleep)
+  // rbs = 1e9 keeps workers spinning (never sleep).
+  auto spec = ModeSpec::parse("intel:sl=f;workers=2;rbs=1000000000");
   install_backend(*enclave_, spec, &meter);
   meter.begin_window();
   // Busy-waiting workers accumulate CPU even with no calls.
@@ -95,7 +106,18 @@ TEST_F(HarnessTest, SimThreadScopeRegistersWithMeter) {
 TEST_F(HarnessTest, ModeLabelsRoundTrip) {
   EXPECT_EQ(ModeSpec::no_sl().label, "no_sl");
   EXPECT_EQ(ModeSpec::intel("i-frw-4", {}, 4).label, "i-frw-4");
+  EXPECT_EQ(ModeSpec::intel("i-frw-4", {}, 4).spec, "intel:workers=4");
   EXPECT_EQ(ModeSpec::zc_mode().label, "zc");
+  EXPECT_EQ(ModeSpec::zc_mode("workers=4").spec, "zc:workers=4");
+  EXPECT_EQ(ModeSpec::hotcalls(3).spec, "hotcalls:workers=3");
+}
+
+TEST_F(HarnessTest, ParseValidatesAgainstRegistry) {
+  const auto mode = ModeSpec::parse("zc:workers=2", "zc-2");
+  EXPECT_EQ(mode.label, "zc-2");
+  EXPECT_EQ(ModeSpec::parse("zc:workers=2").label, "zc:workers=2");
+  EXPECT_THROW(ModeSpec::parse("warp_drive"), BackendSpecError);
+  EXPECT_THROW(ModeSpec::parse("zc:rbf=7"), BackendSpecError);
 }
 
 }  // namespace
