@@ -55,7 +55,9 @@ Row run_backend(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::uint64_t total_calls = args.full ? 100'000 : 20'000;
+  bench::reject_json_flag(args);
+  const std::uint64_t total_calls =
+      args.scaled<std::uint64_t>(100'000, 20'000, 2'000);
 
   bench::print_header("Ablation §VI", "switchless designs head to head",
                       args);

@@ -21,7 +21,9 @@ using namespace zc::workload;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::uint64_t total_calls = args.full ? 40'000 : 8'000;
+  bench::reject_json_flag(args);
+  const std::uint64_t total_calls =
+      args.scaled<std::uint64_t>(40'000, 8'000, 2'000);
   if (!args.backends.empty()) {
     std::cerr << "this bench sweeps its own backend configurations;"
               << " --backend is not supported here\n";

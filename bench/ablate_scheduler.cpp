@@ -75,7 +75,8 @@ BurstResult run_bursty(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const unsigned bursts = args.full ? 10 : 3;
+  bench::reject_json_flag(args);
+  const unsigned bursts = args.scaled<unsigned>(10, 3, 1);
   if (!args.backends.empty()) {
     std::cerr << "this bench sweeps its own backend configurations;"
               << " --backend is not supported here\n";

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/backend_registry.hpp"
@@ -22,30 +25,123 @@ namespace zc::bench {
 
 struct BenchArgs {
   bool full = false;      ///< paper-scale parameters
+  bool smoke = false;     ///< CI smoke lane: tiniest parameters/sweeps
   bool pin = true;        ///< confine to an 8-cpu window (paper machine)
   unsigned repetitions = 1;
   std::vector<std::string> backends;  ///< --backend=SPEC overrides
+  std::string json_path;              ///< --json=FILE: JSONL result rows
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) {
         args.full = true;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
       } else if (std::strcmp(argv[i], "--no-pin") == 0) {
         args.pin = false;
       } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
         args.repetitions = static_cast<unsigned>(std::atoi(argv[i] + 7));
       } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
         args.backends.emplace_back(argv[i] + 10);
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        args.json_path = argv[i] + 7;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::cout << "flags: --full (paper-scale) --no-pin --reps=N"
-                  << " --backend=SPEC (repeatable)\n\n"
+        std::cout << "flags: --full (paper-scale) --smoke (CI lane)"
+                  << " --no-pin --reps=N"
+                  << " --backend=SPEC (repeatable) --json=FILE\n\n"
                   << BackendRegistry::instance().help();
         std::exit(0);
       }
     }
     return args;
   }
+
+  /// Scale selector shorthand: paper / default-reduced / smoke values.
+  template <typename T>
+  T scaled(T full_v, T reduced_v, T smoke_v) const {
+    if (smoke) return smoke_v;
+    return full ? full_v : reduced_v;
+  }
+};
+
+// --- Machine-readable result rows -------------------------------------------
+//
+// Benches persist one JSON object per measurement (JSONL) when --json=FILE
+// is given, keyed by the *canonical* backend spec (BackendSpec::to_string)
+// so cross-run comparisons join on a stable key instead of scraping stdout.
+
+/// Canonical form of a registry spec string (parse + to_string).
+inline std::string canonical_spec(const std::string& spec_text) {
+  return BackendSpec::parse(spec_text).to_string();
+}
+
+/// One JSON object, assembled field by field.  Only the value types the
+/// benches need: strings, unsigned integers and doubles.
+class JsonRow {
+ public:
+  JsonRow& set(std::string_view key, std::string_view value) {
+    std::string escaped;
+    escaped.reserve(value.size() + 2);
+    escaped += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    fields_.emplace_back(std::string(key), std::move(escaped));
+    return *this;
+  }
+  JsonRow& set(std::string_view key, const char* value) {
+    return set(key, std::string_view(value));
+  }
+  JsonRow& set(std::string_view key, std::uint64_t value) {
+    fields_.emplace_back(std::string(key), std::to_string(value));
+    return *this;
+  }
+  JsonRow& set(std::string_view key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(std::string(key), buf);
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"' + fields_[i].first + "\":" + fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// JSONL sink bound to --json=FILE; add() is a no-op when the flag is
+/// absent, so benches emit rows unconditionally.
+class JsonRows {
+ public:
+  explicit JsonRows(const BenchArgs& args) {
+    if (!args.json_path.empty()) {
+      out_.open(args.json_path, std::ios::trunc);
+      if (!out_) {
+        std::cerr << "cannot open --json file '" << args.json_path << "'\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  bool enabled() const { return out_.is_open(); }
+
+  void add(const JsonRow& row) {
+    if (out_.is_open()) out_ << row.str() << '\n';
+  }
+
+ private:
+  std::ofstream out_;
 };
 
 /// The bench's mode list: the --backend=SPEC overrides when given (exiting
@@ -59,6 +155,16 @@ inline std::vector<workload::ModeSpec> select_modes(
   std::vector<workload::ModeSpec> modes;
   for (const std::string& spec : args.backends) {
     try {
+      // These benches drive *ocall* workloads; an ecall-direction backend
+      // would install on the other plane and the bench would silently
+      // measure the default no_sl backend under the requested label.
+      if (spec_direction(BackendSpec::parse(spec)) == CallDirection::kEcall) {
+        std::cerr << "--backend spec '" << spec
+                  << "': direction=ecall backends serve the trusted-"
+                     "function plane; this bench drives ocalls (use "
+                     "bench_micro_callpath for ecall specs)\n";
+        std::exit(2);
+      }
       modes.push_back(workload::ModeSpec::parse(spec));
     } catch (const BackendSpecError& e) {
       std::cerr << "bad --backend spec: " << e.what() << "\n\n"
@@ -67,6 +173,25 @@ inline std::vector<workload::ModeSpec> select_modes(
     }
   }
   return modes;
+}
+
+/// Smoke lane shrinks a sweep dimension to its first point.
+template <typename T>
+std::vector<T> smoke_first(const BenchArgs& args, std::vector<T> sweep) {
+  if (args.smoke && sweep.size() > 1) sweep.resize(1);
+  return sweep;
+}
+
+/// Benches that do not emit JSON rows call this so --json fails loudly
+/// instead of silently producing no file (mirrors the --backend rejection
+/// in sweep-only benches).
+inline void reject_json_flag(const BenchArgs& args) {
+  if (!args.json_path.empty()) {
+    std::cerr << "--json is not wired into this bench yet; JSONL rows are "
+                 "emitted by bench_fig2_worker_sweep and "
+                 "bench_fig3_duration_sweep\n";
+    std::exit(2);
+  }
 }
 
 /// Shared exit path for spec errors thrown mid-run while building a
@@ -91,7 +216,9 @@ inline SimConfig paper_machine(const BenchArgs& args) {
 inline void print_header(const std::string& figure, const std::string& what,
                          const BenchArgs& args) {
   std::cout << "# " << figure << " — " << what << "\n"
-            << "# scale: " << (args.full ? "full (paper)" : "reduced")
+            << "# scale: "
+            << (args.smoke ? "smoke (CI)"
+                           : args.full ? "full (paper)" : "reduced")
             << ", pinned: " << (args.pin ? "yes" : "no") << "\n";
 }
 

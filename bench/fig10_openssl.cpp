@@ -117,13 +117,14 @@ CryptoResult run_crypto(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::size_t step_kb = args.full ? 20 : 40;
-  const unsigned rounds = args.full ? 100 : 40;
+  bench::reject_json_flag(args);
+  const std::size_t step_kb = args.smoke ? 240 : args.full ? 20 : 40;
+  const unsigned rounds = args.scaled<unsigned>(100, 40, 4);
 
   bench::print_header(
       "Fig. 10", "AES-256-CBC file enc/dec latency and CPU by mode", args);
 
-  for (const unsigned intel_workers : {2u, 4u}) {
+  for (const unsigned intel_workers : bench::smoke_first<unsigned>(args, {2u, 4u})) {
     const auto modes = bench::select_modes(args, openssl_modes(intel_workers));
     std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b") << ") "
               << intel_workers << " Intel workers\n";

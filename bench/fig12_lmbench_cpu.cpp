@@ -14,10 +14,11 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::reject_json_flag(args);
   bench::print_header("Fig. 12", "dynamic benchmark %CPU usage over time",
                       args);
 
-  for (const unsigned intel_workers : {2u, 4u}) {
+  for (const unsigned intel_workers : bench::smoke_first<unsigned>(args, {2u, 4u})) {
     const auto modes =
         bench::select_modes(args, bench::lmbench_modes(intel_workers));
     std::vector<std::vector<app::PeriodSample>> samples;

@@ -14,7 +14,9 @@ using namespace zc;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::uint64_t base_ops = args.full ? 100'000 : 20'000;
+  bench::reject_json_flag(args);
+  const std::uint64_t base_ops =
+      args.scaled<std::uint64_t>(100'000, 20'000, 5'000);
   if (!args.backends.empty()) {
     std::cerr << "this bench sweeps its own backend configurations;"
               << " --backend is not supported here\n";

@@ -19,12 +19,14 @@ using namespace zc::workload;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::uint64_t total_calls = args.full ? 100'000 : 10'000;
+  const std::uint64_t total_calls =
+      args.scaled<std::uint64_t>(100'000, 10'000, 2'000);
   if (!args.backends.empty()) {
     std::cerr << "this bench sweeps its own backend configurations;"
               << " --backend is not supported here\n";
     return 2;
   }
+  bench::JsonRows json(args);
 
   bench::print_header("Fig. 3",
                       "runtime vs g duration (pauses) and worker count",
@@ -34,26 +36,40 @@ int main(int argc, char** argv) try {
   const std::vector<SynthConfig> configs = {SynthConfig::kC1, SynthConfig::kC2,
                                             SynthConfig::kC4,
                                             SynthConfig::kC5};
-  const std::vector<std::uint64_t> durations = {0, 100, 200, 300, 400, 500};
+  const std::vector<std::uint64_t> durations =
+      args.smoke ? std::vector<std::uint64_t>{0, 500}
+                 : std::vector<std::uint64_t>{0, 100, 200, 300, 400, 500};
+  const std::vector<unsigned> worker_counts =
+      args.smoke ? std::vector<unsigned>{1, 5}
+                 : std::vector<unsigned>{1, 2, 3, 4, 5};
 
   Table table(
       {"g_pauses", "workers", "C1[s]", "C2[s]", "C4[s]", "C5[s]"});
   for (const std::uint64_t pauses : durations) {
-    for (unsigned workers = 1; workers <= 5; ++workers) {
+    for (const unsigned workers : worker_counts) {
       std::vector<std::string> row{std::to_string(pauses),
                                    std::to_string(workers)};
       for (const SynthConfig config : configs) {
         auto enclave = Enclave::create(bench::paper_machine(args));
         const auto ids = register_synthetic_ocalls(enclave->ocalls());
-        install_backend(*enclave,
-                        ModeSpec::parse(intel_mode_spec(config, workers)));
+        const std::string spec = intel_mode_spec(config, workers);
+        install_backend(*enclave, ModeSpec::parse(spec));
 
         SyntheticRunConfig run;
         run.total_calls = total_calls;
         run.enclave_threads = 8;
         run.g_pauses = pauses;
         run.config = config;
-        row.push_back(Table::num(run_synthetic(*enclave, ids, run).seconds, 3));
+        const double seconds = run_synthetic(*enclave, ids, run).seconds;
+        row.push_back(Table::num(seconds, 3));
+        json.add(bench::JsonRow()
+                     .set("figure", "fig3")
+                     .set("backend", bench::canonical_spec(spec))
+                     .set("config", to_string(config))
+                     .set("workers", static_cast<std::uint64_t>(workers))
+                     .set("g_pauses", pauses)
+                     .set("total_calls", total_calls)
+                     .set("seconds", seconds));
       }
       table.add_row(std::move(row));
     }

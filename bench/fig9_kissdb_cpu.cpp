@@ -13,13 +13,15 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::reject_json_flag(args);
   std::vector<std::uint64_t> key_counts;
   const std::uint64_t step = args.full ? 1'000 : 2'000;
-  for (std::uint64_t k = step; k <= 10'000; k += step) key_counts.push_back(k);
+  const std::uint64_t last = args.smoke ? step : 10'000;  // smoke: one cell
+  for (std::uint64_t k = step; k <= last; k += step) key_counts.push_back(k);
 
   bench::print_header("Fig. 9", "kissdb SET %CPU usage (2 writers)", args);
 
-  for (const unsigned intel_workers : {2u, 4u}) {
+  for (const unsigned intel_workers : bench::smoke_first<unsigned>(args, {2u, 4u})) {
     const auto modes =
         bench::select_modes(args, bench::kissdb_modes(intel_workers));
     std::cout << "\n## (" << (intel_workers == 2 ? "a" : "b")

@@ -29,12 +29,14 @@ inline workload::PhasedPlan lmbench_plan(const BenchArgs& args) {
   if (args.full) {
     plan.tau_seconds = 0.5;   // paper values
     plan.total_seconds = 60.0;
-    plan.initial_ops = 1'000;
+  } else if (args.smoke) {
+    plan.tau_seconds = 0.1;
+    plan.total_seconds = 1.0;
   } else {
     plan.tau_seconds = 0.25;
     plan.total_seconds = 6.0;
-    plan.initial_ops = 1'000;
   }
+  plan.initial_ops = 1'000;
   return plan;
 }
 

@@ -1,9 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the raw call paths and the
 // marshalling/memcpy layers: regular ocall vs ZC switchless vs ZC fallback
 // vs Intel switchless, and the two tlibc memcpy implementations.
+//
+// Additionally, every --backend=SPEC argument registers one dynamic
+// benchmark that drives a no-op call through that registry spec —
+// direction-aware (direction=ecall specs exercise the trusted-function
+// plane) — so new backends are measurable here without code changes:
+//
+//   bench_micro_callpath --backend=zc_sharded:shards=4 ...
+//                        --backend=zc_batched:batch=8,flush_us=50
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/backend_registry.hpp"
@@ -21,6 +31,7 @@ struct NopArgs {
 struct Fixture {
   std::unique_ptr<Enclave> enclave;
   std::uint32_t nop_id = 0;
+  std::uint32_t tnop_id = 0;  ///< trusted twin, for direction=ecall specs
 
   explicit Fixture(std::uint64_t tes = 13'500) {
     SimConfig cfg;
@@ -28,6 +39,7 @@ struct Fixture {
     cfg.logical_cpus = 8;
     enclave = Enclave::create(cfg);
     nop_id = enclave->ocalls().register_fn("nop", [](MarshalledCall&) {});
+    tnop_id = enclave->ecalls().register_fn("nop", [](MarshalledCall&) {});
   }
 };
 
@@ -114,6 +126,63 @@ BENCHMARK(BM_Memcpy)
     ->Args({1, 32768, 0})
     ->Args({1, 32768, 1});
 
+// One no-op call per iteration through an arbitrary registry spec.
+void BM_BackendSpec(benchmark::State& state, const std::string& spec_text) {
+  try {
+    Fixture f;
+    const BackendSpec spec = BackendSpec::parse(spec_text);
+    const bool ecall = spec_direction(spec) == CallDirection::kEcall;
+    install_backend_spec(*f.enclave, spec_text);
+    NopArgs args;
+    for (auto _ : state) {
+      if (ecall) {
+        f.enclave->ecall_fn(f.tnop_id, args);
+      } else {
+        f.enclave->ocall(f.nop_id, args);
+      }
+    }
+    state.SetLabel(spec.to_string());
+  } catch (const BackendSpecError& e) {
+    state.SkipWithError(e.what());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split our --backend flags from google-benchmark's own arguments, and
+  // swallow the shared BenchArgs flags so smoke scripts can pass a uniform
+  // flag set to every bench binary.
+  std::vector<std::string> specs;
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      specs.emplace_back(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0 ||
+               std::strcmp(argv[i], "--full") == 0 ||
+               std::strcmp(argv[i], "--no-pin") == 0 ||
+               std::strncmp(argv[i], "--reps=", 7) == 0 ||
+               std::strncmp(argv[i], "--json=", 7) == 0) {
+      // BenchArgs flags without a google-benchmark meaning: ignored here.
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  for (const std::string& spec : specs) {
+    try {
+      zc::BackendRegistry::instance().validate(spec);
+    } catch (const zc::BackendSpecError& e) {
+      std::fprintf(stderr, "bad --backend spec: %s\n", e.what());
+      return 2;
+    }
+    benchmark::RegisterBenchmark(("BM_BackendSpec/" + spec).c_str(),
+                                 BM_BackendSpec, spec);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

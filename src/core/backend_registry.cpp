@@ -7,6 +7,8 @@
 #include <limits>
 
 #include "core/zc_backend.hpp"
+#include "core/zc_batched.hpp"
+#include "core/zc_sharded.hpp"
 #include "hotcalls/hotcalls.hpp"
 #include "intel_sl/intel_backend.hpp"
 #include "sgx/enclave.hpp"
@@ -228,31 +230,43 @@ std::vector<std::string> BackendSpec::get_list(std::string_view name) const {
 
 namespace {
 
+CallDirection parse_direction(const BackendSpec& spec) {
+  const std::string v = spec.get_string("direction", "ocall");
+  if (v == "ocall") return CallDirection::kOcall;
+  if (v == "ecall") return CallDirection::kEcall;
+  bad_value("direction", v, "ocall/ecall");
+}
+
 std::unique_ptr<CallBackend> build_no_sl(Enclave& enclave,
-                                         const BackendSpec& /*spec*/,
+                                         const BackendSpec& spec,
                                          CpuUsageMeter* /*meter*/) {
+  if (parse_direction(spec) == CallDirection::kEcall) {
+    return std::make_unique<RegularEcallBackend>(enclave);
+  }
   return std::make_unique<RegularBackend>(enclave);
 }
 
-std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
-                                      const BackendSpec& spec,
-                                      CpuUsageMeter* meter) {
+// Shared option parsing for the ZC family (`zc` itself and the per-shard
+// config of `zc_sharded`); `key` prefixes error messages.
+ZcConfig zc_config_from_spec(Enclave& enclave, const BackendSpec& spec,
+                             CpuUsageMeter* meter, const std::string& key) {
   ZcConfig cfg;
   cfg.meter = meter;
+  cfg.direction = parse_direction(spec);
   const std::uint64_t quantum_us = spec.get_u64(
       "quantum_us", static_cast<std::uint64_t>(cfg.quantum.count()));
   if (quantum_us == 0) {
-    throw BackendSpecError("zc: quantum_us must be > 0");
+    throw BackendSpecError(key + ": quantum_us must be > 0");
   }
   cfg.quantum = std::chrono::microseconds(quantum_us);
   cfg.mu = spec.get_double("mu", cfg.mu);
   if (cfg.mu <= 0.0 || cfg.mu > 1.0) {
-    throw BackendSpecError("zc: mu must be in (0, 1]");
+    throw BackendSpecError(key + ": mu must be in (0, 1]");
   }
   cfg.max_workers = spec.get_unsigned("max_workers", cfg.max_workers);
   cfg.worker_pool_bytes = spec.get_u64("pool_bytes", cfg.worker_pool_bytes);
   if (cfg.worker_pool_bytes == 0) {
-    throw BackendSpecError("zc: pool_bytes must be > 0");
+    throw BackendSpecError(key + ": pool_bytes must be > 0");
   }
   cfg.scheduler_enabled = spec.get_bool("scheduler", cfg.scheduler_enabled);
   if (spec.has("workers")) {
@@ -264,7 +278,70 @@ std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
       cfg.max_workers = w;
     }
   }
-  return make_zc_backend(enclave, cfg);
+  return cfg;
+}
+
+std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
+                                      const BackendSpec& spec,
+                                      CpuUsageMeter* meter) {
+  return make_zc_backend(enclave,
+                         zc_config_from_spec(enclave, spec, meter, "zc"));
+}
+
+std::unique_ptr<CallBackend> build_zc_sharded(Enclave& enclave,
+                                              const BackendSpec& spec,
+                                              CpuUsageMeter* meter) {
+  ZcShardedConfig cfg;
+  cfg.shard = zc_config_from_spec(enclave, spec, meter, "zc_sharded");
+  cfg.shards = spec.get_unsigned("shards", cfg.shards);
+  if (cfg.shards == 0) {
+    throw BackendSpecError("zc_sharded: shards must be > 0");
+  }
+  const std::string policy = spec.get_string("policy", "round_robin");
+  if (policy == "round_robin") {
+    cfg.policy = ShardPolicy::kRoundRobin;
+  } else if (policy == "caller_affinity") {
+    cfg.policy = ShardPolicy::kCallerAffinity;
+  } else {
+    bad_value("policy", policy, "round_robin/caller_affinity");
+  }
+  return make_zc_sharded_backend(enclave, std::move(cfg));
+}
+
+std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
+                                              const BackendSpec& spec,
+                                              CpuUsageMeter* meter) {
+  ZcBatchedConfig cfg;
+  cfg.meter = meter;
+  cfg.direction = parse_direction(spec);
+  cfg.workers = spec.get_unsigned("workers", cfg.workers);
+  if (cfg.workers == 0) {
+    throw BackendSpecError("zc_batched: workers must be > 0");
+  }
+  cfg.batch = spec.get_unsigned("batch", cfg.batch);
+  if (cfg.batch == 0) {
+    throw BackendSpecError("zc_batched: batch must be > 0");
+  }
+  const std::uint64_t flush_us = spec.get_u64(
+      "flush_us", static_cast<std::uint64_t>(cfg.flush.count()));
+  if (spec.has("flush_us")) {
+    if (cfg.batch == 1) {
+      throw BackendSpecError(
+          "zc_batched: flush_us conflicts with batch=1 (every publish "
+          "flushes immediately; the timer can never fire)");
+    }
+    if (flush_us == 0) {
+      throw BackendSpecError(
+          "zc_batched: flush_us must be > 0 (use batch=1 for unbatched "
+          "behaviour instead of a zero timer)");
+    }
+  }
+  cfg.flush = std::chrono::microseconds(flush_us);
+  cfg.slot_pool_bytes = spec.get_u64("pool_bytes", cfg.slot_pool_bytes);
+  if (cfg.slot_pool_bytes == 0) {
+    throw BackendSpecError("zc_batched: pool_bytes must be > 0");
+  }
+  return make_zc_batched_backend(enclave, std::move(cfg));
 }
 
 std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
@@ -272,6 +349,7 @@ std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
                                          CpuUsageMeter* meter) {
   intel::IntelSlConfig cfg;
   cfg.meter = meter;
+  cfg.direction = parse_direction(spec);
   cfg.num_workers = spec.get_unsigned("workers", cfg.num_workers);
   const std::uint64_t rbf = spec.get_u64("rbf", cfg.retries_before_fallback);
   const std::uint64_t rbs = spec.get_u64("rbs", cfg.retries_before_sleep);
@@ -292,7 +370,10 @@ std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
   // The static switchless set: ocall names, numeric ids, or `all`.  Name
   // resolution happens here, against this enclave's table — which is why
   // registration must precede backend creation (as with edger8r tables).
-  const OcallTable& table = enclave.ocalls();
+  // With direction=ecall the set selects trusted functions instead.
+  const OcallTable& table = cfg.direction == CallDirection::kOcall
+                                ? enclave.ocalls()
+                                : enclave.ecalls();
   for (const std::string& fn : spec.get_list("sl")) {
     if (fn == "all") {
       for (std::uint32_t id = 0; id < table.size(); ++id) {
@@ -344,12 +425,13 @@ BackendRegistry& BackendRegistry::instance() {
   static BackendRegistry* registry = [] {
     auto* r = new BackendRegistry();
     r->register_backend(
-        {"no_sl", "every ocall pays a full enclave transition", {},
+        {"no_sl", "every ocall pays a full enclave transition", {"direction"},
          build_no_sl});
     r->register_backend(
         {"intel",
          "Intel SDK switchless: static call set, fixed workers, rbf/rbs",
-         {"sl", "workers", "rbf", "rbs", "pool_slots", "frame_bytes"},
+         {"sl", "workers", "rbf", "rbs", "pool_slots", "frame_bytes",
+          "direction"},
          build_intel});
     r->register_backend(
         {"hotcalls", "always-hot responder threads (Weisse et al., ISCA'17)",
@@ -357,8 +439,19 @@ BackendRegistry& BackendRegistry::instance() {
     r->register_backend(
         {"zc", "ZC-Switchless: configless adaptive workers",
          {"workers", "max_workers", "quantum_us", "mu", "pool_bytes",
-          "scheduler"},
+          "scheduler", "direction"},
          build_zc});
+    r->register_backend(
+        {"zc_sharded",
+         "ZC split into N independent worker shards (per-shard schedulers)",
+         {"shards", "policy", "workers", "max_workers", "quantum_us", "mu",
+          "pool_bytes", "scheduler", "direction"},
+         build_zc_sharded});
+    r->register_backend(
+        {"zc_batched",
+         "ZC with per-worker batch buffers flushed on batch=K or flush_us=T",
+         {"workers", "batch", "flush_us", "pool_bytes", "direction"},
+         build_zc_batched});
     return r;
   }();
   return *registry;
@@ -431,7 +524,11 @@ std::string BackendRegistry::help() const {
       "backend spec: key[:opt=value{,value}[;opt=value...]]\n"
       "  e.g. \"no_sl\", \"zc:workers=4,quantum_us=10000\",\n"
       "       \"intel:sl=read,write;workers=2;rbf=20000\",\n"
-      "       \"hotcalls:workers=2\"\n";
+      "       \"hotcalls:workers=2\",\n"
+      "       \"zc_sharded:shards=4;policy=caller_affinity\",\n"
+      "       \"zc_batched:workers=2;batch=8;flush_us=100\"\n"
+      "  direction=ecall installs the backend on the trusted-function\n"
+      "  (ecall) plane where supported.\n";
   for (const auto& entry : entries_) {
     out += "  " + entry.key + " — " + entry.summary + "\n";
     out += "      options: " +
@@ -442,10 +539,22 @@ std::string BackendRegistry::help() const {
   return out;
 }
 
+CallDirection spec_direction(const BackendSpec& spec) {
+  return parse_direction(spec);
+}
+
 void install_backend_spec(Enclave& enclave, std::string_view spec_text,
                           CpuUsageMeter* meter) {
-  enclave.set_backend(
-      BackendRegistry::instance().create(enclave, spec_text, meter));
+  const BackendSpec spec = BackendSpec::parse(spec_text);
+  auto backend = BackendRegistry::instance().create(enclave, spec, meter);
+  // direction=ecall backends serve the trusted-function plane; everything
+  // else replaces the ocall backend.  create() has already rejected the
+  // option on backends that cannot serve ecalls.
+  if (spec_direction(spec) == CallDirection::kEcall) {
+    enclave.set_ecall_backend(std::move(backend));
+  } else {
+    enclave.set_backend(std::move(backend));
+  }
 }
 
 }  // namespace zc

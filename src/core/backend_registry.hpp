@@ -21,9 +21,17 @@
 //   "zc:workers=4,quantum_us=10000"
 //   "intel:sl=read,write;workers=2;rbf=20000"
 //   "hotcalls:workers=2"
+//   "zc_sharded:shards=4;policy=caller_affinity;workers=1"
+//   "zc_batched:workers=2;batch=8;flush_us=100"
+//   "zc:direction=ecall;workers=2"      (trusted workers serving ecalls)
 //
 // `sl=read,write` parses as one option with the value list {read, write}:
 // a comma-separated segment without '=' appends to the preceding option.
+//
+// Backends that can serve the trusted-function plane accept
+// `direction=ecall`; install_backend_spec() then installs them via
+// Enclave::set_ecall_backend instead of set_backend, making the call
+// direction a first-class spec dimension.
 #pragma once
 
 #include <cstdint>
@@ -129,8 +137,14 @@ class BackendRegistry {
   std::vector<Entry> entries_;
 };
 
+/// The boundary direction a spec's backend will serve: kEcall iff the spec
+/// carries `direction=ecall`.  Throws BackendSpecError on other values.
+CallDirection spec_direction(const BackendSpec& spec);
+
 /// Parses `spec_text`, builds the backend (wiring `meter`) and installs it
-/// on `enclave` — the one-call path used by examples and tools.
+/// on `enclave` — the one-call path used by examples and tools.  Specs with
+/// `direction=ecall` install as the enclave's *ecall* backend (trusted
+/// workers); all others replace the ocall backend.
 void install_backend_spec(Enclave& enclave, std::string_view spec_text,
                           CpuUsageMeter* meter = nullptr);
 

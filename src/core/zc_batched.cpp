@@ -1,0 +1,249 @@
+#include "core/zc_batched.hpp"
+
+#include "common/cycles.hpp"
+#include "common/pin.hpp"
+#include "sgx/marshal.hpp"
+
+namespace zc {
+
+ZcBatchedBackend::Worker::Worker(unsigned batch, std::size_t pool_bytes) {
+  slots.reserve(batch);
+  for (unsigned i = 0; i < batch; ++i) {
+    slots.push_back(std::make_unique<Slot>(pool_bytes));
+  }
+}
+
+// Wakes a possibly-parked worker.  The empty lock/unlock orders this
+// notify after the worker's predicate evaluation: a worker between its
+// predicate check and cv.wait() holds the mutex, so acquiring it here
+// guarantees the notify lands after the wait began (no lost wakeup).
+void ZcBatchedBackend::wake(Worker& w) {
+  {
+    std::lock_guard lock(w.mu);
+  }
+  w.cv.notify_one();
+}
+
+ZcBatchedBackend::ZcBatchedBackend(Enclave& enclave, ZcBatchedConfig cfg)
+    : enclave_(enclave), cfg_(std::move(cfg)) {
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(cfg_.batch, cfg_.slot_pool_bytes));
+  }
+}
+
+ZcBatchedBackend::~ZcBatchedBackend() { stop(); }
+
+void ZcBatchedBackend::start() {
+  if (running_.exchange(true)) return;
+  for (auto& w : workers_) {
+    w->cmd.store(WorkerCmd::kRun, std::memory_order_release);
+    w->thread = std::jthread([this, worker = w.get()] { worker_main(*worker); });
+  }
+  active_count_.store(static_cast<unsigned>(workers_.size()),
+                      std::memory_order_release);
+}
+
+void ZcBatchedBackend::stop() {
+  if (!running_.exchange(false)) return;
+  active_count_.store(0, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->cmd.store(WorkerCmd::kExit, std::memory_order_seq_cst);
+    wake(*w);
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ZcBatchedBackend::set_active_workers(unsigned m) {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  const auto max = static_cast<unsigned>(workers_.size());
+  if (m > max) m = max;
+  // Publish the claim bound first so no new requests land on a worker that
+  // is about to pause; workers drain already-published slots before parking.
+  active_count_.store(m, std::memory_order_release);
+  for (unsigned i = 0; i < max; ++i) {
+    Worker& w = *workers_[i];
+    // kExit is terminal: a churn thread racing stop() must never overwrite
+    // it, or the worker would park/run forever and stop()'s join would
+    // hang.  CAS from any non-exit command only.
+    const WorkerCmd desired = i < m ? WorkerCmd::kRun : WorkerCmd::kPause;
+    WorkerCmd cur = w.cmd.load(std::memory_order_seq_cst);
+    while (cur != WorkerCmd::kExit &&
+           !w.cmd.compare_exchange_weak(cur, desired,
+                                        std::memory_order_seq_cst)) {
+    }
+    wake(w);
+  }
+}
+
+void ZcBatchedBackend::execute_regular(const CallDesc& desc) {
+  if (cfg_.direction == CallDirection::kOcall) {
+    execute_regular_ocall(enclave_, desc);
+  } else {
+    execute_regular_ecall(enclave_, desc);
+  }
+}
+
+CallPath ZcBatchedBackend::fallback(const CallDesc& desc) {
+  execute_regular(desc);
+  stats_.fallback_calls.add();
+  return CallPath::kFallback;
+}
+
+CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular(desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+
+  const unsigned m = active_count_.load(std::memory_order_acquire);
+  if (m == 0) return fallback(desc);
+
+  // Claim a free slot on an active worker, starting from a rotating index
+  // so concurrent callers spread across buffers.  No free slot anywhere:
+  // immediate fallback, as in plain ZC (§IV-C).
+  Slot* slot = nullptr;
+  Worker* worker = nullptr;
+  const unsigned first = ticket_.fetch_add(1, std::memory_order_relaxed);
+  for (unsigned i = 0; i < m && slot == nullptr; ++i) {
+    Worker& candidate = *workers_[(first + i) % m];
+    for (auto& s : candidate.slots) {
+      SlotState expected = SlotState::kEmpty;
+      if (s->state.compare_exchange_strong(expected, SlotState::kClaimed,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        slot = s.get();
+        worker = &candidate;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr) return fallback(desc);
+
+  slot->pool.reset();  // single-request pool: fresh for every claim
+  void* mem = slot->pool.allocate(frame_bytes(desc), 64);
+  if (mem == nullptr) {
+    // Request larger than the slot pool: cannot go switchless.
+    slot->state.store(SlotState::kEmpty, std::memory_order_release);
+    return fallback(desc);
+  }
+
+  MarshalledCall call = marshal_into(mem, desc);
+  slot->frame = mem;
+  slot->publish_ns.store(wall_ns(), std::memory_order_relaxed);
+  // seq_cst publish pairs with the worker's seq_cst park/sweep sequence:
+  // either the caller observes parked==true and notifies, or the worker's
+  // pre-sleep sweep observes this PENDING slot.  Plain release/acquire
+  // would allow both sides to miss each other (sleep-with-pending).
+  slot->state.store(SlotState::kPending, std::memory_order_seq_cst);
+  if (worker->parked.load(std::memory_order_seq_cst)) wake(*worker);
+
+  // Bounded spin, then yield: a batching caller is by definition willing
+  // to wait out the flush window, so after ~a window's worth of pauses it
+  // donates its quantum instead of starving the worker on narrow hosts.
+  std::uint32_t spins = 0;
+  while (slot->state.load(std::memory_order_acquire) != SlotState::kDone) {
+    cpu_pause();
+    if (++spins >= 1024) std::this_thread::yield();
+  }
+  unmarshal_from(call, desc);
+  slot->state.store(SlotState::kEmpty, std::memory_order_release);
+  stats_.switchless_calls.add();
+  return CallPath::kSwitchless;
+}
+
+void ZcBatchedBackend::flush(Worker& w) {
+  const OcallTable& table = cfg_.direction == CallDirection::kOcall
+                                ? enclave_.ocalls()
+                                : enclave_.ecalls();
+  for (auto& s : w.slots) {
+    if (s->state.load(std::memory_order_acquire) != SlotState::kPending) {
+      continue;
+    }
+    auto* header = static_cast<FrameHeader*>(s->frame);
+    MarshalledCall call = frame_view(s->frame);
+    table.dispatch(header->fn_id, call);
+    s->state.store(SlotState::kDone, std::memory_order_release);
+  }
+  stats_.batch_flushes.add();
+}
+
+void ZcBatchedBackend::worker_main(Worker& w) {
+  const SimConfig& sim = enclave_.config();
+  if (sim.pin_threads) {
+    pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
+  }
+  std::size_t meter_slot = 0;
+  if (cfg_.meter != nullptr) {
+    meter_slot = cfg_.meter->register_current_thread();
+  }
+
+  const auto flush_ns =
+      static_cast<std::uint64_t>(cfg_.flush.count()) * 1'000;
+  std::uint64_t iterations = 0;
+  for (;;) {
+    const WorkerCmd cmd = w.cmd.load(std::memory_order_acquire);
+
+    unsigned pending = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (const auto& s : w.slots) {
+      if (s->state.load(std::memory_order_seq_cst) == SlotState::kPending) {
+        ++pending;
+        const std::uint64_t t = s->publish_ns.load(std::memory_order_relaxed);
+        if (t < oldest) oldest = t;
+      }
+    }
+
+    if (pending > 0) {
+      // Flush on a full buffer, an expired flush timer, or any pause/exit
+      // command (a leaving worker drains; it never strands a caller).
+      if (pending >= cfg_.batch || cmd != WorkerCmd::kRun ||
+          wall_ns() - oldest >= flush_ns) {
+        flush(w);
+        continue;
+      }
+    } else {
+      if (cmd == WorkerCmd::kExit) break;
+      if (cmd == WorkerCmd::kPause) {
+        std::unique_lock lock(w.mu);
+        w.parked.store(true, std::memory_order_seq_cst);
+        stats_.worker_sleeps.add();
+        if (cfg_.meter != nullptr) cfg_.meter->checkpoint(meter_slot);
+        w.cv.wait(lock, [&] {
+          if (w.cmd.load(std::memory_order_acquire) != WorkerCmd::kPause) {
+            return true;
+          }
+          for (const auto& s : w.slots) {
+            if (s->state.load(std::memory_order_seq_cst) ==
+                SlotState::kPending) {
+              return true;
+            }
+          }
+          return false;
+        });
+        w.parked.store(false, std::memory_order_seq_cst);
+        stats_.worker_wakeups.add();
+        continue;
+      }
+    }
+
+    cpu_pause();
+    // Same narrow-host courtesy as the caller: an idle (or timer-waiting)
+    // batch worker yields periodically so publishers can actually run.
+    if ((++iterations & 0x3FF) == 0) std::this_thread::yield();
+    if (cfg_.meter != nullptr && (iterations & 0x3FFF) == 0) {
+      cfg_.meter->checkpoint(meter_slot);
+    }
+  }
+
+  if (cfg_.meter != nullptr) cfg_.meter->unregister_current_thread(meter_slot);
+}
+
+std::unique_ptr<ZcBatchedBackend> make_zc_batched_backend(Enclave& enclave,
+                                                          ZcBatchedConfig cfg) {
+  return std::make_unique<ZcBatchedBackend>(enclave, std::move(cfg));
+}
+
+}  // namespace zc

@@ -1,0 +1,132 @@
+// Batched ZC-Switchless call backend.
+//
+// Short ocalls are switchless's worst case in the paper: the per-call
+// synchronisation (reserve, publish, wake, collect) costs as much as the
+// work itself.  This backend amortises that cost by batching: each worker
+// owns a buffer of `batch` request slots; callers claim a slot, marshal
+// their request into it and publish, then spin for their own slot's result.
+// The worker sweeps its buffer and executes *all* published requests in one
+// pass — one wakeup, one sweep, K calls — flushing when the buffer fills
+// (`batch=K`) or when the oldest published request has waited `flush_us`
+// (so a lone caller is never stalled longer than the flush timeout).
+//
+// Slot life cycle (per slot, lock-free on the hot path):
+//
+//   EMPTY -> CLAIMED -> PENDING -> DONE -> EMPTY
+//     caller: EMPTY->CLAIMED (CAS), CLAIMED->PENDING (publish),
+//             DONE->EMPTY (collect)
+//     worker: PENDING->DONE (execute, during a flush)
+//
+// Like plain ZC, a caller that finds no free slot on any active worker
+// falls back to a regular ocall immediately — no busy waiting for capacity.
+// Workers can be paused/resumed (set_active_workers); a pausing worker
+// drains its published slots before parking, and a caller that publishes
+// into a parked worker's buffer wakes it, so no call is ever lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cpu_meter.hpp"
+#include "common/pool.hpp"
+#include "sgx/enclave.hpp"
+
+namespace zc {
+
+struct ZcBatchedConfig {
+  unsigned workers = 2;  ///< batch workers, each owning one buffer (> 0)
+  unsigned batch = 8;    ///< slots per worker buffer; flush when full (> 0)
+  /// Max age of the oldest published request before a partial flush.
+  std::chrono::microseconds flush{100};
+  /// Per-slot preallocated untrusted frame pool; oversized requests fall
+  /// back to a regular ocall.
+  std::size_t slot_pool_bytes = 64 * 1024;
+  CpuUsageMeter* meter = nullptr;
+  CallDirection direction = CallDirection::kOcall;
+};
+
+class ZcBatchedBackend final : public CallBackend {
+ public:
+  ZcBatchedBackend(Enclave& enclave, ZcBatchedConfig cfg);
+  ~ZcBatchedBackend() override;
+
+  void start() override;
+  void stop() override;
+  CallPath invoke(const CallDesc& desc) override;
+  const char* name() const noexcept override {
+    return cfg_.direction == CallDirection::kOcall ? "zc_batched"
+                                                   : "zc_batched-ecall";
+  }
+
+  unsigned active_workers() const noexcept override {
+    return active_count_.load(std::memory_order_acquire);
+  }
+
+  unsigned max_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Pauses workers [m, max) and runs [0, m); callers only claim slots on
+  /// active workers.  Pausing workers drain published requests first.
+  void set_active_workers(unsigned m);
+
+  /// Buffer flushes so far (== stats().batch_flushes); the mean batch size
+  /// is switchless_calls / batch_flushes.
+  std::uint64_t flushes() const noexcept {
+    return stats_.batch_flushes.load();
+  }
+
+  const ZcBatchedConfig& config() const noexcept { return cfg_; }
+
+ private:
+  enum class SlotState : std::uint32_t {
+    kEmpty = 0,  ///< free, claimable by callers
+    kClaimed,    ///< a caller is marshalling into the slot
+    kPending,    ///< published, awaiting the next flush
+    kDone,       ///< executed, awaiting collection by the caller
+  };
+
+  struct alignas(64) Slot {
+    explicit Slot(std::size_t pool_bytes) : pool(pool_bytes) {}
+    std::atomic<SlotState> state{SlotState::kEmpty};
+    std::atomic<std::uint64_t> publish_ns{0};  ///< flush-timer anchor
+    void* frame = nullptr;  ///< marshalled request; ordered by `state`
+    BumpPool pool;
+  };
+
+  enum class WorkerCmd : std::uint32_t { kRun = 0, kPause, kExit };
+
+  struct Worker {
+    Worker(unsigned batch, std::size_t pool_bytes);
+    std::vector<std::unique_ptr<Slot>> slots;
+    std::atomic<WorkerCmd> cmd{WorkerCmd::kRun};
+    std::atomic<bool> parked{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::jthread thread;
+  };
+
+  static void wake(Worker& w);
+  void worker_main(Worker& w);
+  void flush(Worker& w);
+  void execute_regular(const CallDesc& desc);
+  CallPath fallback(const CallDesc& desc);
+
+  Enclave& enclave_;
+  ZcBatchedConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<unsigned> active_count_{0};
+  std::atomic<unsigned> ticket_{0};
+  std::atomic<bool> running_{false};
+};
+
+std::unique_ptr<ZcBatchedBackend> make_zc_batched_backend(
+    Enclave& enclave, ZcBatchedConfig cfg = {});
+
+}  // namespace zc

@@ -1,0 +1,92 @@
+#include "core/zc_sharded.hpp"
+
+#include <functional>
+#include <thread>
+
+namespace zc {
+
+const char* to_string(ShardPolicy policy) noexcept {
+  switch (policy) {
+    case ShardPolicy::kRoundRobin:
+      return "round_robin";
+    case ShardPolicy::kCallerAffinity:
+      return "caller_affinity";
+  }
+  return "?";
+}
+
+ZcShardedBackend::ZcShardedBackend(Enclave& enclave, ZcShardedConfig cfg)
+    : enclave_(enclave), cfg_(std::move(cfg)) {
+  shards_.reserve(cfg_.shards);
+  for (unsigned i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<ZcBackend>(enclave_, cfg_.shard));
+  }
+}
+
+ZcShardedBackend::~ZcShardedBackend() { stop(); }
+
+void ZcShardedBackend::start() {
+  for (auto& s : shards_) s->start();
+}
+
+void ZcShardedBackend::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+unsigned ZcShardedBackend::active_workers() const noexcept {
+  unsigned total = 0;
+  for (const auto& s : shards_) total += s->active_workers();
+  return total;
+}
+
+void ZcShardedBackend::set_active_workers(unsigned m) {
+  for (auto& s : shards_) s->set_active_workers(m);
+}
+
+std::vector<std::uint64_t> ZcShardedBackend::per_shard_served() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    std::uint64_t served = 0;
+    for (const std::uint64_t w : s->per_worker_served()) served += w;
+    out.push_back(served);
+  }
+  return out;
+}
+
+unsigned ZcShardedBackend::select_shard() noexcept {
+  const auto n = static_cast<unsigned>(shards_.size());
+  if (cfg_.policy == ShardPolicy::kCallerAffinity) {
+    return static_cast<unsigned>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % n);
+  }
+  return ticket_.fetch_add(1, std::memory_order_relaxed) % n;
+}
+
+CallPath ZcShardedBackend::invoke(const CallDesc& desc) {
+  const CallPath path = shards_[select_shard()]->invoke(desc);
+  // Mirror the call-path counters into the live stats() block (callers
+  // cache the reference and read deltas mid-run, so lazy aggregation is
+  // not an option).  One relaxed add on a padded line per call — the same
+  // shared-stats cost every other backend pays; the *handoff* path
+  // (reservation, request buffer, completion spin) stays shard-private.
+  switch (path) {
+    case CallPath::kRegular:
+      stats_.regular_calls.add();
+      break;
+    case CallPath::kSwitchless:
+      stats_.switchless_calls.add();
+      break;
+    case CallPath::kFallback:
+      stats_.fallback_calls.add();
+      break;
+  }
+  return path;
+}
+
+std::unique_ptr<ZcShardedBackend> make_zc_sharded_backend(Enclave& enclave,
+                                                          ZcShardedConfig cfg) {
+  return std::make_unique<ZcShardedBackend>(enclave, std::move(cfg));
+}
+
+}  // namespace zc

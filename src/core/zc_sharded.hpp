@@ -1,0 +1,95 @@
+// Sharded ZC-Switchless call backend.
+//
+// The plain ZcBackend keeps one flat worker array: every caller scans the
+// same cache lines (worker status words) from index 0, so under many
+// concurrent callers the low-indexed workers become a contention point —
+// the single-queue bottleneck of the paper's design at scale.  The sharded
+// backend splits the worker pool into N independent shards, each a complete
+// ZcBackend with its own workers, request pools and feedback scheduler.  A
+// caller is routed to exactly one shard per call; the handoff path
+// (reservation CAS, request buffer, completion spin) touches only that
+// shard's cache lines, and shards never synchronise with each other.  The
+// only shared write per call is the lifetime stats() counter block — the
+// same cost every backend pays.
+//
+// Shard selection policies:
+//  - round_robin: a relaxed atomic ticket spreads calls evenly.  Best when
+//    callers are homogeneous.
+//  - caller_affinity: the calling thread hashes to a stable shard, so a
+//    thread's requests always hit the same workers (warm pools, no
+//    cross-shard cache-line bouncing).  Best when callers are long-lived.
+//
+// A call routed to a shard with no idle worker falls back to a regular
+// ocall immediately — the paper's §IV-C no-busy-wait property is preserved
+// per shard; we deliberately do not probe other shards, which would
+// reintroduce the cross-shard scan this backend exists to eliminate.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/zc_backend.hpp"
+
+namespace zc {
+
+enum class ShardPolicy : std::uint8_t {
+  kRoundRobin,      ///< relaxed atomic ticket, even spread
+  kCallerAffinity,  ///< hash of the calling thread id, stable routing
+};
+
+const char* to_string(ShardPolicy policy) noexcept;
+
+struct ZcShardedConfig {
+  unsigned shards = 2;  ///< independent worker shards (> 0)
+  ShardPolicy policy = ShardPolicy::kRoundRobin;
+  /// Per-shard worker-pool configuration (worker counts, quantum, pools,
+  /// scheduler and direction all apply to each shard independently).
+  ZcConfig shard;
+};
+
+class ZcShardedBackend final : public CallBackend {
+ public:
+  ZcShardedBackend(Enclave& enclave, ZcShardedConfig cfg);
+  ~ZcShardedBackend() override;
+
+  void start() override;
+  void stop() override;
+  CallPath invoke(const CallDesc& desc) override;
+  const char* name() const noexcept override {
+    return cfg_.shard.direction == CallDirection::kOcall ? "zc_sharded"
+                                                         : "zc_sharded-ecall";
+  }
+
+  /// Sum of the shards' currently active worker counts.
+  unsigned active_workers() const noexcept override;
+
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Direct access to one shard (diagnostics, churn tests).
+  ZcBackend& shard(unsigned i) noexcept { return *shards_[i]; }
+  const ZcBackend& shard(unsigned i) const noexcept { return *shards_[i]; }
+
+  /// Applies `m` active workers to every shard (scheduler-off ablations).
+  void set_active_workers(unsigned m);
+
+  /// Lifetime calls served per shard (sums each shard's workers).
+  std::vector<std::uint64_t> per_shard_served() const;
+
+  const ZcShardedConfig& config() const noexcept { return cfg_; }
+
+ private:
+  unsigned select_shard() noexcept;
+
+  Enclave& enclave_;
+  ZcShardedConfig cfg_;
+  std::vector<std::unique_ptr<ZcBackend>> shards_;
+  std::atomic<unsigned> ticket_{0};
+};
+
+std::unique_ptr<ZcShardedBackend> make_zc_sharded_backend(
+    Enclave& enclave, ZcShardedConfig cfg = {});
+
+}  // namespace zc

@@ -36,7 +36,10 @@ class IntelSwitchlessBackend final : public CallBackend {
   void start() override;
   void stop() override;
   CallPath invoke(const CallDesc& desc) override;
-  const char* name() const noexcept override { return "intel_sl"; }
+  const char* name() const noexcept override {
+    return cfg_.direction == CallDirection::kOcall ? "intel_sl"
+                                                   : "intel_sl-ecall";
+  }
 
   unsigned active_workers() const noexcept override {
     return running_.load(std::memory_order_relaxed) ? cfg_.num_workers : 0;

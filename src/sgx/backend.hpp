@@ -42,6 +42,7 @@ struct BackendStats {
   PaddedCounter pool_resets;       ///< worker request-pool reallocations
   PaddedCounter worker_sleeps;     ///< workers that went to sleep (rbs)
   PaddedCounter worker_wakeups;    ///< sleeping workers woken by a caller
+  PaddedCounter batch_flushes;     ///< batched-backend buffer flushes
 
   std::uint64_t total_calls() const noexcept {
     return regular_calls.load() + switchless_calls.load() +
@@ -66,6 +67,9 @@ class CallBackend {
 
   virtual const char* name() const noexcept = 0;
 
+  /// Lifetime counters.  Live: callers may cache the reference and read
+  /// deltas across a run, so implementations must update these counters as
+  /// calls complete (not lazily on read).
   const BackendStats& stats() const noexcept { return stats_; }
 
   /// Number of workers currently allowed to serve calls (0 for regular).

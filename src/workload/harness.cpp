@@ -47,8 +47,9 @@ ModeSpec ModeSpec::hotcalls(unsigned workers) {
 
 void install_backend(Enclave& enclave, const ModeSpec& spec,
                      CpuUsageMeter* meter) {
-  enclave.set_backend(
-      BackendRegistry::instance().create(enclave, spec.spec, meter));
+  // Shares the registry's direction-aware routing: direction=ecall modes
+  // install on the trusted-function plane.
+  install_backend_spec(enclave, spec.spec, meter);
 }
 
 SimThreadScope::SimThreadScope(const Enclave& enclave, CpuUsageMeter* meter)

@@ -116,7 +116,8 @@ class BackendRegistryTest : public ::testing::Test {
 
 TEST_F(BackendRegistryTest, KnowsThePaperBackends) {
   auto& registry = BackendRegistry::instance();
-  for (const char* key : {"no_sl", "intel", "hotcalls", "zc"}) {
+  for (const char* key :
+       {"no_sl", "intel", "hotcalls", "zc", "zc_sharded", "zc_batched"}) {
     EXPECT_TRUE(registry.contains(key)) << key;
   }
   EXPECT_FALSE(registry.contains("warp_drive"));
@@ -130,6 +131,8 @@ TEST_F(BackendRegistryTest, CreatesEachBuiltin) {
       {"intel:sl=all;workers=2", "intel_sl"},
       {"hotcalls:workers=2", "hotcalls"},
       {"zc", "zc"},
+      {"zc_sharded:shards=2;workers=1", "zc_sharded"},
+      {"zc_batched:workers=1;batch=2", "zc_batched"},
   };
   for (const auto& [spec, name] : expect) {
     auto backend = registry.create(*enclave_, spec);
@@ -198,6 +201,76 @@ TEST_F(BackendRegistryTest, BadOptionValuesAreRejectedAtCreate) {
                BackendSpecError);
   EXPECT_THROW(registry.create(*enclave_, "intel:rbf=99999999999"),
                BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, ShardedAndBatchedValueErrorsAreTyped) {
+  auto& registry = BackendRegistry::instance();
+  // Sharded: shard count and policy validation.
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:shards=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:policy=warp_drive"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:quantum_us=0"),
+               BackendSpecError);
+  // Batched: batch/flush validation, incl. conflicting combinations.
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:batch=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:workers=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:pool_bytes=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:batch=1;flush_us=10"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:batch=4;flush_us=0"),
+               BackendSpecError);
+  // Defaults and explicit non-conflicting combinations are accepted.
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:batch=1"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:batch=4;flush_us=50"),
+            nullptr);
+}
+
+TEST_F(BackendRegistryTest, DirectionOptionIsValidatedAndScoped) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_THROW(registry.create(*enclave_, "zc:direction=sideways"),
+               BackendSpecError);
+  // hotcalls has no trusted-worker mode: the option itself is unknown.
+  EXPECT_THROW(registry.create(*enclave_, "hotcalls:direction=ecall"),
+               BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, EcallDirectionInstallsOnTheTrustedPlane) {
+  enclave_->ecalls().register_fn("tnop", [](MarshalledCall&) {});
+  install_backend_spec(*enclave_, "zc:direction=ecall;scheduler=off;workers=1");
+  // The ocall backend is untouched; the ecall plane got the ZC backend.
+  EXPECT_STREQ(enclave_->backend().name(), "no_sl");
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc-ecall");
+
+  install_backend_spec(*enclave_,
+                       "zc_batched:direction=ecall;workers=1;batch=2");
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc_batched-ecall");
+
+  // An ocall-direction spec then only replaces the ocall plane.
+  install_backend_spec(*enclave_, "zc_sharded:shards=2;scheduler=off");
+  EXPECT_STREQ(enclave_->backend().name(), "zc_sharded");
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc_batched-ecall");
+  enclave_->set_ecall_backend(nullptr);
+  enclave_->set_backend(nullptr);
+}
+
+TEST_F(BackendRegistryTest, IntelEcallDirectionResolvesTrustedNames) {
+  const auto tid = enclave_->ecalls().register_fn("square",
+                                                  [](MarshalledCall&) {});
+  (void)tid;
+  // `sl=square` only exists in the *ecall* table: resolution must follow
+  // the direction option.
+  install_backend_spec(*enclave_,
+                       "intel:direction=ecall;sl=square;workers=1");
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "intel_sl-ecall");
+  // Same spec without direction=ecall must fail: no such ocall.
+  EXPECT_THROW(
+      BackendRegistry::instance().create(*enclave_, "intel:sl=square"),
+      BackendSpecError);
+  enclave_->set_ecall_backend(nullptr);
 }
 
 TEST_F(BackendRegistryTest, CustomBackendsPlugIntoTheSpecPlane) {

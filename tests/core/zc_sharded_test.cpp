@@ -1,0 +1,166 @@
+// Sharded ZC backend: shard routing policies, per-shard isolation,
+// fallback behaviour and the trusted-worker (ecall) direction.
+#include "core/zc_sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/backend_registry.hpp"
+
+namespace zc {
+namespace {
+
+struct EchoArgs {
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+};
+
+class ZcShardedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.tes_cycles = 200;
+    cfg.logical_cpus = 8;
+    enclave_ = Enclave::create(cfg);
+    echo_id_ =
+        enclave_->ocalls().register_fn("echo", [](MarshalledCall& call) {
+          auto* a = static_cast<EchoArgs*>(call.args);
+          a->out = a->in + 1;
+        });
+  }
+
+  // Installs a scheduler-off sharded backend and returns the raw pointer.
+  ZcShardedBackend* install(unsigned shards, ShardPolicy policy,
+                            unsigned workers_per_shard) {
+    ZcShardedConfig cfg;
+    cfg.shards = shards;
+    cfg.policy = policy;
+    cfg.shard.scheduler_enabled = false;
+    cfg.shard.with_initial_workers(workers_per_shard);
+    auto backend = make_zc_sharded_backend(*enclave_, cfg);
+    auto* raw = backend.get();
+    enclave_->set_backend(std::move(backend));
+    return raw;
+  }
+
+  std::unique_ptr<Enclave> enclave_;
+  std::uint32_t echo_id_ = 0;
+};
+
+TEST_F(ZcShardedTest, RoundRobinSpreadsCallsAcrossShards) {
+  auto* backend = install(2, ShardPolicy::kRoundRobin, 1);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  const auto served = backend->per_shard_served();
+  ASSERT_EQ(served.size(), 2u);
+  // A single caller alternates deterministically: both shards serve half.
+  EXPECT_EQ(served[0], 100u);
+  EXPECT_EQ(served[1], 100u);
+  EXPECT_EQ(backend->stats().switchless_calls.load(), 200u);
+}
+
+TEST_F(ZcShardedTest, CallerAffinityPinsAThreadToOneShard) {
+  auto* backend = install(4, ShardPolicy::kCallerAffinity, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  }
+  const auto served = backend->per_shard_served();
+  // Every call from this thread hashed to the same shard.
+  std::uint64_t total = 0;
+  std::uint64_t max_shard = 0;
+  for (const std::uint64_t s : served) {
+    total += s;
+    max_shard = std::max(max_shard, s);
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(max_shard, 100u);
+}
+
+TEST_F(ZcShardedTest, AggregatesActiveWorkersAcrossShards) {
+  auto* backend = install(3, ShardPolicy::kRoundRobin, 2);
+  EXPECT_EQ(backend->shard_count(), 3u);
+  EXPECT_EQ(backend->active_workers(), 6u);
+  backend->set_active_workers(1);
+  EXPECT_EQ(backend->active_workers(), 3u);
+}
+
+TEST_F(ZcShardedTest, ZeroActiveWorkersFallsBackEverywhere) {
+  auto* backend = install(2, ShardPolicy::kRoundRobin, 0);
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kFallback);
+  EXPECT_EQ(args.out, 8u);  // fallback still executes the call
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 1u);
+}
+
+TEST_F(ZcShardedTest, ResultsSurviveConcurrentCallers) {
+  install(2, ShardPolicy::kRoundRobin, 2);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < 300; ++i) {
+          EchoArgs args;
+          args.in = static_cast<std::uint64_t>(t) * 1'000 + i;
+          enclave_->ocall(echo_id_, args);
+          if (args.out != args.in + 1) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ZcShardedTest, EcallDirectionServesTrustedFunctions) {
+  const auto square_id =
+      enclave_->ecalls().register_fn("square", [](MarshalledCall& call) {
+        auto* a = static_cast<EchoArgs*>(call.args);
+        a->out = a->in * a->in;
+      });
+  ZcShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.shard.direction = CallDirection::kEcall;
+  cfg.shard.scheduler_enabled = false;
+  cfg.shard.with_initial_workers(1);
+  enclave_->set_ecall_backend(make_zc_sharded_backend(*enclave_, cfg));
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc_sharded-ecall");
+
+  EchoArgs args;
+  args.in = 9;
+  EXPECT_EQ(enclave_->ecall_fn(square_id, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 81u);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
+}
+
+TEST_F(ZcShardedTest, PerShardSchedulersRunIndependently) {
+  ZcShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.shard.quantum = std::chrono::microseconds(2'000);
+  auto backend = make_zc_sharded_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EchoArgs args;
+    args.in = i;
+    enclave_->ocall(echo_id_, args);
+    ASSERT_EQ(args.out, i + 1);
+  }
+  // Both shards own a live scheduler instance.
+  EXPECT_NE(raw->shard(0).scheduler(), nullptr);
+  EXPECT_NE(raw->shard(1).scheduler(), nullptr);
+  EXPECT_EQ(raw->stats().total_calls(), 500u);
+}
+
+}  // namespace
+}  // namespace zc

@@ -9,11 +9,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
 
 #include "apps/crypto/file_crypto.hpp"
+#include "common/cycles.hpp"
 #include "apps/kissdb/kissdb.hpp"
 #include "core/backend_registry.hpp"
 #include "tlibc/memcpy.hpp"
@@ -30,6 +35,8 @@ std::string equivalence_spec(const std::string& key) {
   if (key == "intel") return "intel:sl=all;workers=2";
   if (key == "zc") return "zc:quantum_us=5000";
   if (key == "hotcalls") return "hotcalls:workers=2";
+  if (key == "zc_sharded") return "zc_sharded:shards=2;workers=1";
+  if (key == "zc_batched") return "zc_batched:workers=2;batch=2;flush_us=100";
   return key;
 }
 
@@ -41,12 +48,33 @@ std::vector<std::string> all_backend_specs() {
   return specs;
 }
 
+// The ecall-plane twin of equivalence_spec(); empty string = the backend
+// has no trusted-worker mode (it is skipped, and the coverage test pins
+// the list of such exemptions).
+std::string ecall_equivalence_spec(const std::string& key) {
+  if (key == "no_sl") return "no_sl:direction=ecall";
+  if (key == "intel") return "intel:direction=ecall;sl=all;workers=1";
+  if (key == "zc") return "zc:direction=ecall;scheduler=off;workers=1";
+  if (key == "zc_sharded") {
+    return "zc_sharded:direction=ecall;shards=2;scheduler=off;workers=1";
+  }
+  if (key == "zc_batched") {
+    return "zc_batched:direction=ecall;workers=1;batch=2;flush_us=100";
+  }
+  if (key == "hotcalls") return "";  // untrusted responders only
+  // Future backends: try the generic direction option; create() rejects it
+  // cleanly if unsupported, which fails the test and forces a decision.
+  return key + ":direction=ecall";
+}
+
 TEST(BackendEquivalenceCoverage, EveryRegistryKeyIsChecked) {
   // INSTANTIATE below iterates all_backend_specs(); this guards that the
-  // list really spans the registry (incl. hotcalls).
+  // list really spans the registry (incl. hotcalls and the sharded/batched
+  // call planes).
   const auto keys = BackendRegistry::instance().keys();
-  EXPECT_GE(keys.size(), 4u);
-  for (const char* key : {"no_sl", "intel", "hotcalls", "zc"}) {
+  EXPECT_GE(keys.size(), 6u);
+  for (const char* key :
+       {"no_sl", "intel", "hotcalls", "zc", "zc_sharded", "zc_batched"}) {
     EXPECT_TRUE(std::find(keys.begin(), keys.end(), key) != keys.end())
         << key;
   }
@@ -117,6 +145,157 @@ TEST_P(BackendEquivalenceTest, FileCryptoRoundTripIdentical) {
   std::vector<std::uint8_t> back{std::istreambuf_iterator<char>(f),
                                  std::istreambuf_iterator<char>()};
   EXPECT_EQ(back, data);
+}
+
+// --- Randomized differential workload --------------------------------------
+//
+// The same seeded pseudo-random ocall/ecall stream (mixed payload sizes and
+// in-call durations) must produce byte-identical results and identical call
+// counts under every registered backend.  The digest is an order-independent
+// sum of per-call FNV hashes so concurrent callers don't perturb it.
+
+struct MixArgs {
+  std::uint64_t value = 0;
+  std::uint64_t echoed = 0;
+  std::uint64_t pauses = 0;
+};
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct DifferentialOutcome {
+  std::uint64_t digest = 0;        ///< order-independent result digest
+  std::uint64_t handler_calls = 0; ///< executions observed by the handler
+  std::uint64_t backend_calls = 0; ///< backend counter total
+  std::uint64_t issued = 0;        ///< calls issued by the drivers
+};
+
+// Runs the workload through `spec` on a fresh enclave: `threads` callers,
+// each issuing `calls` deterministic pseudo-random requests (sizes 1..4096,
+// durations 0..64 pauses).  Direction-aware: ecall specs exercise the
+// trusted-function plane.
+DifferentialOutcome run_differential(const std::string& spec_text,
+                                     unsigned threads, std::uint64_t calls) {
+  SimConfig cfg;
+  cfg.tes_cycles = 200;
+  cfg.logical_cpus = 8;
+  auto enclave = Enclave::create(cfg);
+  const bool ecall =
+      spec_direction(BackendSpec::parse(spec_text)) == CallDirection::kEcall;
+
+  std::atomic<std::uint64_t> handler_calls{0};
+  const auto handler = [&handler_calls](MarshalledCall& call) {
+    auto* a = static_cast<MixArgs*>(call.args);
+    a->echoed = a->value * 2654435761ull + 1;
+    pause_n(a->pauses);
+    auto* payload = static_cast<std::uint8_t*>(call.payload);
+    for (std::size_t i = 0; i < call.payload_size; ++i) {
+      payload[i] = static_cast<std::uint8_t>(payload[i] ^ 0x5A);
+    }
+    handler_calls.fetch_add(1, std::memory_order_relaxed);
+  };
+  const std::uint32_t fn_id = ecall
+                                  ? enclave->ecalls().register_fn("mix", handler)
+                                  : enclave->ocalls().register_fn("mix", handler);
+  install_backend_spec(*enclave, spec_text);
+
+  DifferentialOutcome out;
+  std::atomic<std::uint64_t> digest{0};
+  std::atomic<std::uint64_t> issued{0};
+  {
+    std::vector<std::jthread> callers;
+    for (unsigned t = 0; t < threads; ++t) {
+      callers.emplace_back([&, t] {
+        std::mt19937_64 rng(0xD1F5ull * (t + 1));  // same stream per backend
+        std::uint64_t local_digest = 0;
+        for (std::uint64_t i = 0; i < calls; ++i) {
+          MixArgs args;
+          args.value = rng();
+          args.pauses = rng() % 64;
+          const std::size_t n = 1 + rng() % 4'096;
+          std::vector<std::uint8_t> in(n);
+          std::vector<std::uint8_t> out_buf(n);
+          for (auto& b : in) b = static_cast<std::uint8_t>(rng());
+          CallDesc desc;
+          desc.fn_id = fn_id;
+          desc.args = &args;
+          desc.args_size = sizeof(args);
+          desc.in_payload = in.data();
+          desc.in_size = n;
+          desc.out_payload = out_buf.data();
+          desc.out_size = n;
+          if (ecall) {
+            enclave->ecall_fn(desc);
+          } else {
+            enclave->ocall(desc);
+          }
+          local_digest += fnv1a(out_buf.data(), n, fnv1a(&args.echoed, 8));
+        }
+        digest.fetch_add(local_digest, std::memory_order_relaxed);
+        issued.fetch_add(calls, std::memory_order_relaxed);
+      });
+    }
+  }
+  out.digest = digest.load();
+  out.handler_calls = handler_calls.load();
+  out.issued = issued.load();
+  out.backend_calls = ecall ? enclave->ecall_backend().stats().total_calls()
+                            : enclave->backend().stats().total_calls();
+  if (ecall) {
+    enclave->set_ecall_backend(nullptr);
+  } else {
+    enclave->set_backend(nullptr);
+  }
+  return out;
+}
+
+TEST(BackendDifferentialTest, RandomizedOcallWorkloadIsIdenticalEverywhere) {
+  const unsigned threads = 2;
+  const std::uint64_t calls = 150;
+  const DifferentialOutcome ref = run_differential("no_sl", threads, calls);
+  ASSERT_EQ(ref.handler_calls, ref.issued);
+  for (const auto& spec : all_backend_specs()) {
+    if (spec == "no_sl") continue;
+    const DifferentialOutcome got = run_differential(spec, threads, calls);
+    EXPECT_EQ(got.digest, ref.digest) << spec;
+    EXPECT_EQ(got.handler_calls, ref.handler_calls)
+        << spec << ": lost or duplicated calls";
+    EXPECT_EQ(got.backend_calls, got.issued)
+        << spec << ": backend counters disagree with issued calls";
+  }
+}
+
+TEST(BackendDifferentialTest, RandomizedEcallWorkloadIsIdenticalEverywhere) {
+  const unsigned threads = 2;
+  const std::uint64_t calls = 100;
+  const DifferentialOutcome ref =
+      run_differential("no_sl:direction=ecall", threads, calls);
+  ASSERT_EQ(ref.handler_calls, ref.issued);
+  unsigned skipped = 0;
+  for (const auto& key : BackendRegistry::instance().keys()) {
+    const std::string spec = ecall_equivalence_spec(key);
+    if (spec.empty()) {
+      ++skipped;
+      continue;
+    }
+    if (key == "no_sl") continue;
+    const DifferentialOutcome got = run_differential(spec, threads, calls);
+    EXPECT_EQ(got.digest, ref.digest) << spec;
+    EXPECT_EQ(got.handler_calls, ref.handler_calls)
+        << spec << ": lost or duplicated calls";
+    EXPECT_EQ(got.backend_calls, got.issued)
+        << spec << ": backend counters disagree with issued calls";
+  }
+  // Only hotcalls is exempt from the trusted-worker plane.
+  EXPECT_EQ(skipped, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

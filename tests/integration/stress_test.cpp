@@ -13,6 +13,8 @@
 
 #include "core/backend_registry.hpp"
 #include "core/zc_backend.hpp"
+#include "core/zc_batched.hpp"
+#include "core/zc_sharded.hpp"
 #include "intel_sl/intel_backend.hpp"
 #include "workload/synthetic.hpp"
 
@@ -197,6 +199,86 @@ TEST_F(StressTest, MixedPayloadSizesAcrossWorkers) {
   EXPECT_EQ(corrupt.load(), 0);
 }
 
+TEST_F(StressTest, ShardedBackendUnderPressure) {
+  // Per-shard schedulers with an aggressive quantum: constant worker-count
+  // churn inside every shard while callers hammer both.
+  install_backend_spec(*enclave_, "zc_sharded:shards=2;quantum_us=2000");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, ShardedCallerAffinityUnderPressure) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=4;policy=caller_affinity;quantum_us=2000");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, ShardedChurnWhileCallersRun) {
+  // Manual all-shard worker churn (0..max per shard) racing live callers:
+  // every transition between switchless and fallback paths is crossed on
+  // every shard repeatedly.
+  ZcShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.shard.scheduler_enabled = false;
+  auto backend = make_zc_sharded_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->shard(0).max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
+TEST_F(StressTest, BatchedBackendUnderPressure) {
+  install_backend_spec(*enclave_, "zc_batched:workers=2;batch=4;flush_us=50");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, BatchedPauseResumeChurnWhileCallersRun) {
+  // Workers are paused (drain, park) and resumed continuously while the
+  // callers run: exercises the publish-vs-park wakeup protocol and the
+  // forced fallback window when all workers are parked.
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  auto backend = make_zc_batched_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
+TEST_F(StressTest, BatchedTinySlotPoolsForceFallbacks) {
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  cfg.slot_pool_bytes = 16;  // smaller than any frame: every claim overflows
+  auto backend = make_zc_batched_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+  hammer(scaled_threads(8), scaled_calls(1'000));
+  EXPECT_GT(raw->stats().fallback_calls.load(), 0u);
+}
+
 TEST_F(StressTest, BackendHotSwapBetweenBatches) {
   // Swapping backends between batches (never mid-flight) must preserve
   // every call under all four policies in sequence.
@@ -214,6 +296,10 @@ TEST_F(StressTest, BackendHotSwapBetweenBatches) {
         std::make_unique<intel::IntelSwitchlessBackend>(*enclave_, icfg));
     hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "hotcalls");
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(*enclave_, "zc_sharded:shards=2;quantum_us=2000");
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(*enclave_, "zc_batched:workers=2;batch=2;flush_us=50");
     hammer(scaled_threads(4), scaled_calls(250));
   }
 }
