@@ -55,7 +55,8 @@ Row run_backend(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const std::uint64_t total_calls =
       args.scaled<std::uint64_t>(100'000, 20'000, 2'000);
 
@@ -78,6 +79,12 @@ int main(int argc, char** argv) try {
     const Row row = run_backend(args, mode, total_calls);
     table.add_row({mode.label, Table::num(row.busy_seconds, 3),
                    Table::num(row.idle_cpu_percent, 1)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_baselines")
+                 .set("backend", bench::canonical_spec(mode.spec))
+                 .set("total_calls", total_calls)
+                 .set("busy_seconds", row.busy_seconds)
+                 .set("idle_cpu_percent", row.idle_cpu_percent));
   }
   table.print(std::cout);
   std::cout << "# expected: hotcalls fastest busy but pays idle CPU forever;"

@@ -21,7 +21,8 @@ using namespace zc::workload;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const std::uint64_t total_calls =
       args.scaled<std::uint64_t>(40'000, 8'000, 2'000);
   if (!args.backends.empty()) {
@@ -54,6 +55,14 @@ int main(int argc, char** argv) try {
     rbf_table.add_row({std::to_string(rbf), Table::num(r.seconds, 3),
                        std::to_string(r.switchless),
                        std::to_string(r.fallbacks)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_rbf_rbs")
+                 .set("sweep", "rbf")
+                 .set("rbf", static_cast<std::uint64_t>(rbf))
+                 .set("total_calls", total_calls)
+                 .set("seconds", r.seconds)
+                 .set("switchless", r.switchless)
+                 .set("fallbacks", r.fallbacks));
   }
   rbf_table.print(std::cout);
 
@@ -77,6 +86,12 @@ int main(int argc, char** argv) try {
     enclave->set_backend(nullptr);  // detach before the meter dies
     rbs_table.add_row({rbs >= 1'000'000'000u ? "inf" : std::to_string(rbs),
                        Table::num(cpu, 1), std::to_string(sleeps)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_rbf_rbs")
+                 .set("sweep", "rbs")
+                 .set("rbs", static_cast<std::uint64_t>(rbs))
+                 .set("idle_cpu_percent", cpu)
+                 .set("worker_sleeps", sleeps));
   }
   rbs_table.print(std::cout);
   return 0;

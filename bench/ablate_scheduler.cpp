@@ -75,7 +75,8 @@ BurstResult run_bursty(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const unsigned bursts = args.scaled<unsigned>(10, 3, 1);
   if (!args.backends.empty()) {
     std::cerr << "this bench sweeps its own backend configurations;"
@@ -97,6 +98,13 @@ int main(int argc, char** argv) try {
     q_table.add_row({std::to_string(q_ms), Table::num(r.cpu_percent, 1),
                      std::to_string(r.config_phases),
                      std::to_string(r.fallbacks)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_scheduler")
+                 .set("sweep", "quantum")
+                 .set("quantum_ms", static_cast<std::uint64_t>(q_ms))
+                 .set("cpu_percent", r.cpu_percent)
+                 .set("config_phases", r.config_phases)
+                 .set("fallbacks", r.fallbacks));
   }
   q_table.print(std::cout);
 
@@ -108,6 +116,13 @@ int main(int argc, char** argv) try {
     mu_table.add_row({mu, Table::num(r.cpu_percent, 1),
                       std::to_string(r.config_phases),
                       std::to_string(r.fallbacks)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_scheduler")
+                 .set("sweep", "mu")
+                 .set("mu", mu)
+                 .set("cpu_percent", r.cpu_percent)
+                 .set("config_phases", r.config_phases)
+                 .set("fallbacks", r.fallbacks));
   }
   mu_table.print(std::cout);
 
@@ -120,6 +135,12 @@ int main(int argc, char** argv) try {
         bursts);
     fixed_table.add_row({std::to_string(w), Table::num(r.cpu_percent, 1),
                          std::to_string(r.fallbacks)});
+    json.add(bench::JsonRow()
+                 .set("figure", "ablate_scheduler")
+                 .set("sweep", "fixed_workers")
+                 .set("workers", static_cast<std::uint64_t>(w))
+                 .set("cpu_percent", r.cpu_percent)
+                 .set("fallbacks", r.fallbacks));
   }
   fixed_table.print(std::cout);
   return 0;

@@ -28,6 +28,7 @@ struct BenchArgs {
   bool smoke = false;     ///< CI smoke lane: tiniest parameters/sweeps
   bool pin = true;        ///< confine to an 8-cpu window (paper machine)
   unsigned repetitions = 1;
+  unsigned pipeline = 1;  ///< --pipeline=D: in-flight calls per caller
   std::vector<std::string> backends;  ///< --backend=SPEC overrides
   std::string json_path;              ///< --json=FILE: JSONL result rows
 
@@ -42,13 +43,16 @@ struct BenchArgs {
         args.pin = false;
       } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
         args.repetitions = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
+        args.pipeline = static_cast<unsigned>(std::atoi(argv[i] + 11));
+        if (args.pipeline == 0) args.pipeline = 1;
       } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
         args.backends.emplace_back(argv[i] + 10);
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         args.json_path = argv[i] + 7;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::cout << "flags: --full (paper-scale) --smoke (CI lane)"
-                  << " --no-pin --reps=N"
+                  << " --no-pin --reps=N --pipeline=D (async backends)"
                   << " --backend=SPEC (repeatable) --json=FILE\n\n"
                   << BackendRegistry::instance().help();
         std::exit(0);
@@ -182,14 +186,15 @@ std::vector<T> smoke_first(const BenchArgs& args, std::vector<T> sweep) {
   return sweep;
 }
 
-/// Benches that do not emit JSON rows call this so --json fails loudly
-/// instead of silently producing no file (mirrors the --backend rejection
-/// in sweep-only benches).
-inline void reject_json_flag(const BenchArgs& args) {
-  if (!args.json_path.empty()) {
-    std::cerr << "--json is not wired into this bench yet; JSONL rows are "
-                 "emitted by bench_fig2_worker_sweep and "
-                 "bench_fig3_duration_sweep\n";
+/// Benches whose workload cannot pipeline (or that never install an async
+/// backend) call this so --pipeline fails loudly instead of silently
+/// measuring the synchronous path under a pipelined label.
+inline void reject_pipeline_flag(const BenchArgs& args) {
+  if (args.pipeline > 1) {
+    std::cerr << "--pipeline is only supported by benches that drive the "
+                 "async call plane (bench_fig2_worker_sweep spec mode, "
+                 "bench_micro_callpath) with an async-capable backend "
+                 "(zc_async)\n";
     std::exit(2);
   }
 }

@@ -117,7 +117,8 @@ CryptoResult run_crypto(const bench::BenchArgs& args, const ModeSpec& mode,
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const std::size_t step_kb = args.smoke ? 240 : args.full ? 20 : 40;
   const unsigned rounds = args.scaled<unsigned>(100, 40, 4);
 
@@ -143,6 +144,14 @@ int main(int argc, char** argv) try {
         const auto r = run_crypto(args, mode, kb * 1024, rounds);
         lat_row.push_back(Table::num(r.seconds, 4));
         cpu_row.push_back(Table::num(r.cpu_percent, 1));
+        json.add(bench::JsonRow()
+                     .set("figure", "fig10")
+                     .set("backend", bench::canonical_spec(mode.spec))
+                     .set("intel_workers",
+                          static_cast<std::uint64_t>(intel_workers))
+                     .set("file_kb", static_cast<std::uint64_t>(kb))
+                     .set("seconds", r.seconds)
+                     .set("cpu_percent", r.cpu_percent));
       }
       latency.add_row(std::move(lat_row));
       cpu.add_row(std::move(cpu_row));

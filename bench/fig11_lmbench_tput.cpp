@@ -14,7 +14,8 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   bench::print_header("Fig. 11",
                       "dynamic read/write throughput (KOPs/s) over time",
                       args);
@@ -26,6 +27,16 @@ int main(int argc, char** argv) try {
     std::cout << "\n## " << intel_workers << " workers-intel\n";
     for (const auto& mode : modes) {
       samples.push_back(bench::run_lmbench(args, mode).samples);
+      for (const app::PeriodSample& s : samples.back()) {
+        json.add(bench::JsonRow()
+                     .set("figure", "fig11")
+                     .set("backend", bench::canonical_spec(mode.spec))
+                     .set("intel_workers",
+                          static_cast<std::uint64_t>(intel_workers))
+                     .set("t_seconds", s.t_seconds)
+                     .set("read_kops", s.read_kops)
+                     .set("write_kops", s.write_kops));
+      }
     }
 
     for (const bool read_side : {true, false}) {

@@ -14,7 +14,8 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   bench::print_header("Fig. 12", "dynamic benchmark %CPU usage over time",
                       args);
 
@@ -24,6 +25,16 @@ int main(int argc, char** argv) try {
     std::vector<std::vector<app::PeriodSample>> samples;
     for (const auto& mode : modes) {
       samples.push_back(bench::run_lmbench(args, mode).samples);
+      for (const app::PeriodSample& s : samples.back()) {
+        json.add(bench::JsonRow()
+                     .set("figure", "fig12")
+                     .set("backend", bench::canonical_spec(mode.spec))
+                     .set("intel_workers",
+                          static_cast<std::uint64_t>(intel_workers))
+                     .set("t_seconds", s.t_seconds)
+                     .set("cpu_percent", s.cpu_percent)
+                     .set("workers", static_cast<std::uint64_t>(s.workers)));
+      }
     }
 
     std::cout << "\n## " << intel_workers << " workers-intel\n";

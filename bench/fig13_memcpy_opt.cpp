@@ -14,7 +14,8 @@ using namespace zc;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const std::uint64_t base_ops =
       args.scaled<std::uint64_t>(100'000, 20'000, 5'000);
   if (!args.backends.empty()) {
@@ -49,6 +50,14 @@ int main(int argc, char** argv) {
                    Table::num(z_al, 3), Table::num(z_un, 3),
                    Table::num(i_al > 0 ? z_al / i_al : 0, 2),
                    Table::num(i_un > 0 ? z_un / i_un : 0, 2)});
+    json.add(bench::JsonRow()
+                 .set("figure", "fig13")
+                 .set("buffer_bytes", static_cast<std::uint64_t>(size))
+                 .set("ops", ops)
+                 .set("intel_aligned_gbps", i_al)
+                 .set("intel_unaligned_gbps", i_un)
+                 .set("zc_aligned_gbps", z_al)
+                 .set("zc_unaligned_gbps", z_un));
   }
   table.print(std::cout);
   return 0;

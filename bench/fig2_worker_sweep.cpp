@@ -9,7 +9,9 @@
 // With --backend=SPEC (repeatable) the bench instead runs the same f/g
 // workload through each given registry spec — the sweep dimension then
 // lives in the spec itself (e.g. zc_sharded:shards=4), so every
-// registered backend is reachable from this figure driver.
+// registered backend is reachable from this figure driver.  Spec mode
+// additionally accepts --pipeline=D to drive an async-capable backend
+// (zc_async) with D in-flight calls per enclave thread.
 #include <iostream>
 #include <vector>
 
@@ -41,19 +43,30 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
       "Fig. 2", "synthetic f/g runtime per --backend spec", args);
   std::cout << "# " << total_calls << " ocalls (" << total_calls * 3 / 4
             << " f + " << total_calls / 4 << " g), 8 enclave threads, g = "
-            << g_pauses << " pauses\n";
+            << g_pauses << " pauses";
+  if (args.pipeline > 1) {
+    std::cout << ", pipeline depth " << args.pipeline;
+  }
+  std::cout << "\n";
 
   Table table({"backend", "time[s]", "switchless", "fallback", "regular"});
   for (const ModeSpec& mode : zc::bench::select_modes(args, {})) {
     auto enclave = Enclave::create(zc::bench::paper_machine(args));
     const auto ids = register_synthetic_ocalls(enclave->ocalls());
     install_backend(*enclave, mode);
+    if (args.pipeline > 1 && async_plane(*enclave) == nullptr) {
+      std::cerr << "--pipeline=" << args.pipeline
+                << " needs an async-capable backend (zc_async); '"
+                << mode.spec << "' is synchronous\n";
+      return 2;
+    }
 
     SyntheticRunConfig run;
     run.total_calls = total_calls;
     run.enclave_threads = 8;
     run.g_pauses = g_pauses;
     run.config = SynthConfig::kC1;
+    run.pipeline = args.pipeline;
 
     const SyntheticResult r =
         best_run(*enclave, ids, run, args.repetitions);
@@ -63,6 +76,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
     json.add(zc::bench::JsonRow()
                  .set("figure", "fig2")
                  .set("backend", zc::bench::canonical_spec(mode.spec))
+                 .set("pipeline", static_cast<std::uint64_t>(args.pipeline))
                  .set("g_pauses", g_pauses)
                  .set("total_calls", total_calls)
                  .set("seconds", r.seconds)
@@ -89,6 +103,7 @@ int main(int argc, char** argv) try {
   if (!args.backends.empty()) {
     return run_spec_mode(args, total_calls, g_pauses, json);
   }
+  zc::bench::reject_pipeline_flag(args);  // C1..C5 sweep is synchronous
 
   zc::bench::print_header(
       "Fig. 2", "synthetic f/g runtime vs Intel worker count (C1..C5)", args);

@@ -16,7 +16,8 @@ using namespace zc;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   const std::uint64_t base_ops =
       args.scaled<std::uint64_t>(100'000, 20'000, 5'000);
   if (!args.backends.empty()) {
@@ -46,6 +47,13 @@ int main(int argc, char** argv) {
                                 : "0.5kB",
                    Table::num(al, 3), Table::num(un, 3),
                    Table::num(un > 0 ? al / un : 0, 2)});
+    json.add(bench::JsonRow()
+                 .set("figure", "fig7")
+                 .set("memcpy", "intel")
+                 .set("buffer_bytes", static_cast<std::uint64_t>(size))
+                 .set("ops", ops)
+                 .set("aligned_gbps", al)
+                 .set("unaligned_gbps", un));
   }
   table.print(std::cout);
   return 0;

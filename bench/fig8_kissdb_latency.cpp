@@ -15,7 +15,8 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   std::vector<std::uint64_t> key_counts;
   const std::uint64_t step = args.full ? 1'000 : 2'000;
   const std::uint64_t last = args.smoke ? step : 10'000;  // smoke: one cell
@@ -40,6 +41,13 @@ int main(int argc, char** argv) try {
               std::min(best, bench::run_kissdb_set(args, mode, keys).seconds);
         }
         row.push_back(Table::num(best, 3));
+        json.add(bench::JsonRow()
+                     .set("figure", "fig8")
+                     .set("backend", bench::canonical_spec(mode.spec))
+                     .set("intel_workers",
+                          static_cast<std::uint64_t>(intel_workers))
+                     .set("keys", keys)
+                     .set("seconds", best));
       }
       table.add_row(std::move(row));
     }

@@ -13,7 +13,8 @@ using namespace zc;
 
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  bench::reject_json_flag(args);
+  bench::reject_pipeline_flag(args);
+  bench::JsonRows json(args);
   std::vector<std::uint64_t> key_counts;
   const std::uint64_t step = args.full ? 1'000 : 2'000;
   const std::uint64_t last = args.smoke ? step : 10'000;  // smoke: one cell
@@ -32,8 +33,16 @@ int main(int argc, char** argv) try {
     for (const std::uint64_t keys : key_counts) {
       std::vector<std::string> row{std::to_string(keys)};
       for (const auto& mode : modes) {
-        row.push_back(
-            Table::num(bench::run_kissdb_set(args, mode, keys).cpu_percent, 1));
+        const double cpu =
+            bench::run_kissdb_set(args, mode, keys).cpu_percent;
+        row.push_back(Table::num(cpu, 1));
+        json.add(bench::JsonRow()
+                     .set("figure", "fig9")
+                     .set("backend", bench::canonical_spec(mode.spec))
+                     .set("intel_workers",
+                          static_cast<std::uint64_t>(intel_workers))
+                     .set("keys", keys)
+                     .set("cpu_percent", cpu));
       }
       table.add_row(std::move(row));
     }

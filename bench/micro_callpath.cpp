@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the raw call paths and the
 // marshalling/memcpy layers: regular ocall vs ZC switchless vs ZC fallback
-// vs Intel switchless, and the two tlibc memcpy implementations.
+// vs Intel switchless, the batched caller's yield-vs-spin wait policies,
+// and the two tlibc memcpy implementations.
 //
 // Additionally, every --backend=SPEC argument registers one dynamic
 // benchmark that drives a no-op call through that registry spec —
@@ -9,20 +10,45 @@
 //
 //   bench_micro_callpath --backend=zc_sharded:shards=4 ...
 //                        --backend=zc_batched:batch=8,flush_us=50
+//
+// --pipeline=D drives the spec lane through the async call plane with D
+// in-flight calls per iteration window (requires an async-capable spec,
+// i.e. zc_async).  --json=FILE persists one JSONL row per spec-lane
+// benchmark, keyed by the canonical spec, like the figure sweeps.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
+#include "common/cycles.hpp"
 #include "core/backend_registry.hpp"
+#include "core/zc_async.hpp"
 #include "sgx/enclave.hpp"
 #include "tlibc/memcpy.hpp"
+#include "workload/harness.hpp"
 
 namespace {
 
 using namespace zc;
+
+// --json=FILE sink: the spec-lane benchmarks record one row per spec
+// (last calibration pass wins), flushed from main() after the run.
+struct SpecRow {
+  std::string backend;
+  unsigned pipeline = 1;
+  std::uint64_t iterations = 0;
+  double seconds = 0;
+};
+std::map<std::string, SpecRow>& spec_rows() {
+  static std::map<std::string, SpecRow> rows;
+  return rows;
+}
+unsigned g_pipeline = 1;
 
 struct NopArgs {
   int x = 0;
@@ -126,22 +152,83 @@ BENCHMARK(BM_Memcpy)
     ->Args({1, 32768, 0})
     ->Args({1, 32768, 1});
 
-// One no-op call per iteration through an arbitrary registry spec.
-void BM_BackendSpec(benchmark::State& state, const std::string& spec_text) {
+// The batched caller's wait policy head to head: spin_us=0 yields between
+// every poll; a large budget approximates hotcalls-style pure spinning.
+// This quantifies the multi-core latency cost of the yield (ROADMAP item).
+void BM_BatchedWaitPolicy(benchmark::State& state) {
+  Fixture f;
+  const std::uint64_t spin_us = static_cast<std::uint64_t>(state.range(0));
+  install_backend_spec(*f.enclave, "zc_batched:workers=1;batch=1;spin_us=" +
+                                       std::to_string(spin_us));
+  NopArgs args;
+  for (auto _ : state) {
+    f.enclave->ocall(f.nop_id, args);
+  }
+  state.SetLabel(spin_us == 0 ? "yield-immediately"
+                              : "spin_us=" + std::to_string(spin_us));
+  state.counters["yields_per_call"] = benchmark::Counter(
+      static_cast<double>(f.enclave->backend().stats().caller_yields.load()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BatchedWaitPolicy)->Arg(0)->Arg(200);
+
+// One call per iteration through an arbitrary registry spec; with a
+// pipeline depth D > 1 the spec's async plane keeps D calls in flight and
+// each iteration retires (waits) exactly one.
+void BM_BackendSpec(benchmark::State& state, const std::string& spec_text,
+                    unsigned pipeline) {
   try {
     Fixture f;
     const BackendSpec spec = BackendSpec::parse(spec_text);
-    const bool ecall = spec_direction(spec) == CallDirection::kEcall;
+    const CallDirection direction = spec_direction(spec);
+    const bool ecall = direction == CallDirection::kEcall;
+    const std::uint32_t fn_id = ecall ? f.tnop_id : f.nop_id;
     install_backend_spec(*f.enclave, spec_text);
-    NopArgs args;
-    for (auto _ : state) {
-      if (ecall) {
-        f.enclave->ecall_fn(f.tnop_id, args);
-      } else {
-        f.enclave->ocall(f.nop_id, args);
-      }
+    ZcAsyncBackend* async = pipeline > 1
+                                ? workload::async_plane(*f.enclave, direction)
+                                : nullptr;
+    if (pipeline > 1 && async == nullptr) {
+      state.SkipWithError(("--pipeline=" + std::to_string(pipeline) +
+                           " needs an async-capable backend (zc_async); '" +
+                           spec_text + "' is synchronous")
+                              .c_str());
+      return;
     }
-    state.SetLabel(spec.to_string());
+    const std::uint64_t t0 = wall_ns();
+    if (async == nullptr) {
+      NopArgs args;
+      for (auto _ : state) {
+        if (ecall) {
+          f.enclave->ecall_fn(fn_id, args);
+        } else {
+          f.enclave->ocall(fn_id, args);
+        }
+      }
+    } else {
+      struct InFlight {
+        NopArgs args;
+        CallFuture future;
+      };
+      std::vector<InFlight> window(pipeline);
+      std::uint64_t k = 0;
+      for (auto _ : state) {
+        InFlight& ring = window[k++ % pipeline];
+        ring.future.wait();  // no-op on a fresh future
+        CallDesc desc;
+        desc.fn_id = fn_id;
+        desc.args = &ring.args;
+        desc.args_size = sizeof(ring.args);
+        ring.future = async->submit(desc);
+      }
+      for (InFlight& ring : window) ring.future.wait();
+    }
+    const double seconds = static_cast<double>(wall_ns() - t0) * 1e-9;
+    state.SetLabel(spec.to_string() +
+                   (pipeline > 1 ? "/pipeline=" + std::to_string(pipeline)
+                                 : ""));
+    spec_rows()[spec.to_string()] =
+        SpecRow{spec.to_string(), pipeline,
+                static_cast<std::uint64_t>(state.iterations()), seconds};
   } catch (const BackendSpecError& e) {
     state.SkipWithError(e.what());
   }
@@ -150,19 +237,24 @@ void BM_BackendSpec(benchmark::State& state, const std::string& spec_text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split our --backend flags from google-benchmark's own arguments, and
-  // swallow the shared BenchArgs flags so smoke scripts can pass a uniform
-  // flag set to every bench binary.
+  // Split our --backend/--pipeline/--json flags from google-benchmark's own
+  // arguments, and swallow the shared BenchArgs flags so smoke scripts can
+  // pass a uniform flag set to every bench binary.
   std::vector<std::string> specs;
+  std::string json_path;
   std::vector<char*> bench_argv{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       specs.emplace_back(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
+      g_pipeline = static_cast<unsigned>(std::atoi(argv[i] + 11));
+      if (g_pipeline == 0) g_pipeline = 1;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0 ||
                std::strcmp(argv[i], "--full") == 0 ||
                std::strcmp(argv[i], "--no-pin") == 0 ||
-               std::strncmp(argv[i], "--reps=", 7) == 0 ||
-               std::strncmp(argv[i], "--json=", 7) == 0) {
+               std::strncmp(argv[i], "--reps=", 7) == 0) {
       // BenchArgs flags without a google-benchmark meaning: ignored here.
     } else {
       bench_argv.push_back(argv[i]);
@@ -171,12 +263,28 @@ int main(int argc, char** argv) {
   for (const std::string& spec : specs) {
     try {
       zc::BackendRegistry::instance().validate(spec);
+      if (g_pipeline > 1) {
+        // Pipelining needs the async call plane; reject synchronous specs
+        // up front (exit 2, like every figure driver) instead of letting
+        // the benchmark skip and the binary exit 0 with an empty JSON
+        // file.  The probe backend is never started.
+        Fixture probe;
+        auto backend =
+            zc::BackendRegistry::instance().create(*probe.enclave, spec);
+        if (dynamic_cast<zc::ZcAsyncBackend*>(backend.get()) == nullptr) {
+          std::fprintf(stderr,
+                       "--pipeline=%u needs an async-capable backend "
+                       "(zc_async); '%s' is synchronous\n",
+                       g_pipeline, spec.c_str());
+          return 2;
+        }
+      }
     } catch (const zc::BackendSpecError& e) {
       std::fprintf(stderr, "bad --backend spec: %s\n", e.what());
       return 2;
     }
     benchmark::RegisterBenchmark(("BM_BackendSpec/" + spec).c_str(),
-                                 BM_BackendSpec, spec);
+                                 BM_BackendSpec, spec, g_pipeline);
   }
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
@@ -184,5 +292,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --json file '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+    for (const auto& [key, row] : spec_rows()) {
+      const double per_call =
+          row.iterations > 0 ? row.seconds / static_cast<double>(row.iterations)
+                             : 0.0;
+      out << zc::bench::JsonRow()
+                 .set("figure", "micro_callpath")
+                 .set("backend", row.backend)
+                 .set("pipeline", static_cast<std::uint64_t>(row.pipeline))
+                 .set("iterations", row.iterations)
+                 .set("seconds", row.seconds)
+                 .set("ns_per_call", per_call * 1e9)
+                 .str()
+          << '\n';
+    }
+  }
   return 0;
 }

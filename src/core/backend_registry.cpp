@@ -6,6 +6,7 @@
 #include <chrono>
 #include <limits>
 
+#include "core/zc_async.hpp"
 #include "core/zc_backend.hpp"
 #include "core/zc_batched.hpp"
 #include "core/zc_sharded.hpp"
@@ -337,11 +338,38 @@ std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
     }
   }
   cfg.flush = std::chrono::microseconds(flush_us);
+  // Caller-side wait policy: bounded spin budget before yielding between
+  // polls.  spin_us=0 is valid and means yield-immediately.
+  cfg.spin = std::chrono::microseconds(
+      spec.get_u64("spin_us", static_cast<std::uint64_t>(cfg.spin.count())));
   cfg.slot_pool_bytes = spec.get_u64("pool_bytes", cfg.slot_pool_bytes);
   if (cfg.slot_pool_bytes == 0) {
     throw BackendSpecError("zc_batched: pool_bytes must be > 0");
   }
   return make_zc_batched_backend(enclave, std::move(cfg));
+}
+
+std::unique_ptr<CallBackend> build_zc_async(Enclave& enclave,
+                                            const BackendSpec& spec,
+                                            CpuUsageMeter* meter) {
+  ZcAsyncConfig cfg;
+  cfg.meter = meter;
+  cfg.direction = parse_direction(spec);
+  cfg.workers = spec.get_unsigned("workers", cfg.workers);
+  if (cfg.workers == 0) {
+    throw BackendSpecError("zc_async: workers must be > 0");
+  }
+  cfg.queue = spec.get_unsigned("queue", cfg.queue);
+  if (cfg.queue == 0) {
+    throw BackendSpecError(
+        "zc_async: queue must be > 0 (the completion table needs at least "
+        "one slot)");
+  }
+  cfg.slot_pool_bytes = spec.get_u64("pool_bytes", cfg.slot_pool_bytes);
+  if (cfg.slot_pool_bytes == 0) {
+    throw BackendSpecError("zc_async: pool_bytes must be > 0");
+  }
+  return make_zc_async_backend(enclave, std::move(cfg));
 }
 
 std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
@@ -450,8 +478,14 @@ BackendRegistry& BackendRegistry::instance() {
     r->register_backend(
         {"zc_batched",
          "ZC with per-worker batch buffers flushed on batch=K or flush_us=T",
-         {"workers", "batch", "flush_us", "pool_bytes", "direction"},
+         {"workers", "batch", "flush_us", "spin_us", "pool_bytes",
+          "direction"},
          build_zc_batched});
+    r->register_backend(
+        {"zc_async",
+         "future-based ZC: submit()/wait() futures, condvar completion, "
+         "no caller spin",
+         {"workers", "queue", "pool_bytes", "direction"}, build_zc_async});
     return r;
   }();
   return *registry;
@@ -526,7 +560,8 @@ std::string BackendRegistry::help() const {
       "       \"intel:sl=read,write;workers=2;rbf=20000\",\n"
       "       \"hotcalls:workers=2\",\n"
       "       \"zc_sharded:shards=4;policy=caller_affinity\",\n"
-      "       \"zc_batched:workers=2;batch=8;flush_us=100\"\n"
+      "       \"zc_batched:workers=2;batch=8;flush_us=100;spin_us=0\",\n"
+      "       \"zc_async:workers=2;queue=16\"\n"
       "  direction=ecall installs the backend on the trusted-function\n"
       "  (ecall) plane where supported.\n";
   for (const auto& entry : entries_) {

@@ -22,7 +22,8 @@
 //   "intel:sl=read,write;workers=2;rbf=20000"
 //   "hotcalls:workers=2"
 //   "zc_sharded:shards=4;policy=caller_affinity;workers=1"
-//   "zc_batched:workers=2;batch=8;flush_us=100"
+//   "zc_batched:workers=2;batch=8;flush_us=100;spin_us=0"
+//   "zc_async:workers=2;queue=16"       (submit()/wait() futures, no spin)
 //   "zc:direction=ecall;workers=2"      (trusted workers serving ecalls)
 //
 // `sl=read,write` parses as one option with the value list {read, write}:

@@ -141,12 +141,26 @@ CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
   if (worker->parked.load(std::memory_order_seq_cst)) wake(*worker);
 
   // Bounded spin, then yield: a batching caller is by definition willing
-  // to wait out the flush window, so after ~a window's worth of pauses it
-  // donates its quantum instead of starving the worker on narrow hosts.
-  std::uint32_t spins = 0;
+  // to wait out the flush window, so once the spin budget (`spin_us=`)
+  // expires it donates its quantum instead of starving the worker on
+  // narrow hosts.  spin_us=0 yields between every poll.  The clock is
+  // only read every 64 pauses so the budget check stays off the poll
+  // loop's critical path.
+  const std::uint64_t spin_ns =
+      static_cast<std::uint64_t>(cfg_.spin.count()) * 1'000;
+  const std::uint64_t spin_t0 = spin_ns > 0 ? wall_ns() : 0;
+  bool spinning = spin_ns > 0;
+  std::uint32_t polls = 0;
   while (slot->state.load(std::memory_order_acquire) != SlotState::kDone) {
-    cpu_pause();
-    if (++spins >= 1024) std::this_thread::yield();
+    if (spinning) {
+      cpu_pause();
+      if ((++polls & 0x3F) == 0 && wall_ns() - spin_t0 >= spin_ns) {
+        spinning = false;
+      }
+    } else {
+      stats_.caller_yields.add();
+      std::this_thread::yield();
+    }
   }
   unmarshal_from(call, desc);
   slot->state.store(SlotState::kEmpty, std::memory_order_release);

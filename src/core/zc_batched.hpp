@@ -44,6 +44,11 @@ struct ZcBatchedConfig {
   unsigned batch = 8;    ///< slots per worker buffer; flush when full (> 0)
   /// Max age of the oldest published request before a partial flush.
   std::chrono::microseconds flush{100};
+  /// Caller-side wait policy: spin (`pause`) for at most this budget, then
+  /// yield between result polls.  0 = yield immediately (narrowest-host
+  /// politeness); a large budget approximates hotcalls-style pure spinning.
+  /// Every yield bumps BackendStats::caller_yields.
+  std::chrono::microseconds spin{50};
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular ocall.
   std::size_t slot_pool_bytes = 64 * 1024;

@@ -43,6 +43,8 @@ struct BackendStats {
   PaddedCounter worker_sleeps;     ///< workers that went to sleep (rbs)
   PaddedCounter worker_wakeups;    ///< sleeping workers woken by a caller
   PaddedCounter batch_flushes;     ///< batched-backend buffer flushes
+  PaddedCounter caller_yields;     ///< yields by callers whose spin expired
+                                   ///< (one per yield, not one per call)
 
   std::uint64_t total_calls() const noexcept {
     return regular_calls.load() + switchless_calls.load() +

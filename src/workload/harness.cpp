@@ -1,6 +1,7 @@
 #include "workload/harness.hpp"
 
 #include "common/pin.hpp"
+#include "core/zc_async.hpp"
 
 namespace zc::workload {
 
@@ -50,6 +51,13 @@ void install_backend(Enclave& enclave, const ModeSpec& spec,
   // Shares the registry's direction-aware routing: direction=ecall modes
   // install on the trusted-function plane.
   install_backend_spec(enclave, spec.spec, meter);
+}
+
+ZcAsyncBackend* async_plane(Enclave& enclave, CallDirection direction) {
+  CallBackend& backend = direction == CallDirection::kOcall
+                             ? enclave.backend()
+                             : enclave.ecall_backend();
+  return dynamic_cast<ZcAsyncBackend*>(&backend);
 }
 
 SimThreadScope::SimThreadScope(const Enclave& enclave, CpuUsageMeter* meter)

@@ -22,6 +22,10 @@
 #include "core/backend_registry.hpp"
 #include "sgx/enclave.hpp"
 
+namespace zc {
+class ZcAsyncBackend;
+}
+
 namespace zc::workload {
 
 struct ModeSpec {
@@ -51,6 +55,13 @@ struct ModeSpec {
 /// `meter`, when given, receives the backend's worker/scheduler threads.
 void install_backend(Enclave& enclave, const ModeSpec& spec,
                      CpuUsageMeter* meter = nullptr);
+
+/// The installed backend's asynchronous call plane (submit()/wait()
+/// futures), or nullptr when the backend on that direction does not
+/// support futures.  Pipelined drivers (`--pipeline=D`) require a
+/// non-null plane — today that means a `zc_async:` spec.
+ZcAsyncBackend* async_plane(Enclave& enclave,
+                            CallDirection direction = CallDirection::kOcall);
 
 /// RAII helper for simulated-machine caller threads: pins to the machine's
 /// CPU window and registers with the meter; checkpoints on destruction.

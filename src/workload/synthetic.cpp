@@ -7,6 +7,8 @@
 #include "common/cpu_meter.hpp"
 #include "common/cycles.hpp"
 #include "common/pin.hpp"
+#include "core/zc_async.hpp"
+#include "workload/harness.hpp"
 
 namespace zc::workload {
 namespace {
@@ -114,20 +116,51 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
       enclave.ecall([&] {
         std::uint64_t local_f = 0;
         std::uint64_t local_g = 0;
+        // Pipelined mode: keep up to `pipeline` submitted futures in
+        // flight, collecting the oldest before reusing its args slot.
+        ZcAsyncBackend* async =
+            run.pipeline > 1 ? async_plane(enclave) : nullptr;
+        const unsigned depth = async != nullptr ? run.pipeline : 1;
+        struct InFlight {
+          FArgs f;
+          GArgs g;
+          CallFuture future;
+        };
+        std::vector<InFlight> window(depth);
         for (std::uint64_t k = 0; k < per_thread; ++k) {
           const bool is_g = (k % 4) == 3;  // pattern f,f,f,g  (α = 3β)
           const bool alias = run.config == SynthConfig::kC3 && (k & 4) != 0;
+          if (async == nullptr) {
+            if (is_g) {
+              GArgs args;
+              args.pauses = run.g_pauses;
+              enclave.ocall(alias ? ids.g_b : ids.g_a, args);
+              ++local_g;
+            } else {
+              FArgs args;
+              enclave.ocall(alias ? ids.f_b : ids.f_a, args);
+              ++local_f;
+            }
+            continue;
+          }
+          InFlight& ring = window[k % depth];
+          ring.future.wait();  // no-op on an invalid (fresh) future
+          CallDesc desc;
           if (is_g) {
-            GArgs args;
-            args.pauses = run.g_pauses;
-            enclave.ocall(alias ? ids.g_b : ids.g_a, args);
+            ring.g.pauses = run.g_pauses;
+            desc.fn_id = alias ? ids.g_b : ids.g_a;
+            desc.args = &ring.g;
+            desc.args_size = sizeof(ring.g);
             ++local_g;
           } else {
-            FArgs args;
-            enclave.ocall(alias ? ids.f_b : ids.f_a, args);
+            desc.fn_id = alias ? ids.f_b : ids.f_a;
+            desc.args = &ring.f;
+            desc.args_size = sizeof(ring.f);
             ++local_f;
           }
+          ring.future = async->submit(desc);
         }
+        for (InFlight& ring : window) ring.future.wait();
         f_calls.fetch_add(local_f, std::memory_order_relaxed);
         g_calls.fetch_add(local_g, std::memory_order_relaxed);
         return 0;

@@ -65,6 +65,11 @@ struct SyntheticRunConfig {
   unsigned enclave_threads = 8;         ///< paper: 8 in-enclave threads
   std::uint64_t g_pauses = 10;          ///< duration of g in pauses
   SynthConfig config = SynthConfig::kC1;
+  /// In-flight calls per caller thread.  > 1 drives the installed
+  /// backend's async plane (submit + windowed wait); requires an
+  /// async-capable backend (`zc_async:`), otherwise the run degrades to
+  /// the synchronous path — drivers check workload::async_plane() first.
+  unsigned pipeline = 1;
 };
 
 struct SyntheticResult {

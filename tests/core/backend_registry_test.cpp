@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/zc_batched.hpp"
 #include "sgx/enclave.hpp"
 #include "workload/synthetic.hpp"
 
@@ -116,8 +117,8 @@ class BackendRegistryTest : public ::testing::Test {
 
 TEST_F(BackendRegistryTest, KnowsThePaperBackends) {
   auto& registry = BackendRegistry::instance();
-  for (const char* key :
-       {"no_sl", "intel", "hotcalls", "zc", "zc_sharded", "zc_batched"}) {
+  for (const char* key : {"no_sl", "intel", "hotcalls", "zc", "zc_sharded",
+                          "zc_batched", "zc_async"}) {
     EXPECT_TRUE(registry.contains(key)) << key;
   }
   EXPECT_FALSE(registry.contains("warp_drive"));
@@ -133,6 +134,7 @@ TEST_F(BackendRegistryTest, CreatesEachBuiltin) {
       {"zc", "zc"},
       {"zc_sharded:shards=2;workers=1", "zc_sharded"},
       {"zc_batched:workers=1;batch=2", "zc_batched"},
+      {"zc_async:workers=1;queue=4", "zc_async"},
   };
   for (const auto& [spec, name] : expect) {
     auto backend = registry.create(*enclave_, spec);
@@ -227,6 +229,54 @@ TEST_F(BackendRegistryTest, ShardedAndBatchedValueErrorsAreTyped) {
   EXPECT_NE(registry.create(*enclave_, "zc_batched:batch=1"), nullptr);
   EXPECT_NE(registry.create(*enclave_, "zc_batched:batch=4;flush_us=50"),
             nullptr);
+}
+
+TEST_F(BackendRegistryTest, BatchedSpinBudgetIsValidated) {
+  auto& registry = BackendRegistry::instance();
+  // Malformed spin budgets: empty value (grammar), non-numeric value.
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:spin_us="),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:spin_us=abc"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:spin_us=-1"),
+               BackendSpecError);
+  // The option belongs to zc_batched only — on the other ZC keys it is a
+  // conflict with their wait protocols (zc spins by design, zc_async never
+  // spins), rejected as an unknown option.
+  EXPECT_THROW(registry.create(*enclave_, "zc:spin_us=10"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:spin_us=10"),
+               BackendSpecError);
+  // spin_us=0 is valid and means yield-immediately.
+  auto yielder = registry.create(*enclave_, "zc_batched:spin_us=0");
+  ASSERT_NE(yielder, nullptr);
+  EXPECT_EQ(dynamic_cast<ZcBatchedBackend*>(yielder.get())
+                ->config().spin.count(), 0);
+}
+
+TEST_F(BackendRegistryTest, AsyncValueErrorsAreTyped) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:workers=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:queue=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:pool_bytes=0"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:workers=abc"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:direction=sideways"),
+               BackendSpecError);
+  // Unknown options (incl. other backends' knobs) are rejected by name.
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:batch=4"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:warp=1"),
+               BackendSpecError);
+  // Valid shapes, both directions.
+  EXPECT_NE(registry.create(*enclave_, "zc_async"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_async:workers=2;queue=16"),
+            nullptr);
+  EXPECT_NE(
+      registry.create(*enclave_, "zc_async:direction=ecall;workers=1;queue=4"),
+      nullptr);
 }
 
 TEST_F(BackendRegistryTest, DirectionOptionIsValidatedAndScoped) {

@@ -253,6 +253,56 @@ TEST_F(ZcBatchedTest, PauseResumeChurnLosesNoCalls) {
   EXPECT_EQ(backend->stats().total_calls(), issued.load());
 }
 
+TEST_F(ZcBatchedTest, SpinZeroMeansYieldImmediately) {
+  // spin_us=0 disables the caller's spin budget: every poll that finds the
+  // result not ready donates the quantum (observable via caller_yields).
+  ZcBatchedConfig cfg;
+  cfg.workers = 1;
+  cfg.batch = 8;
+  cfg.flush = 100us;
+  cfg.spin = 0us;
+  auto* backend = install(cfg);
+
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    enclave_->ocall(echo_id_, args);
+    ASSERT_EQ(args.out, i + 1);
+  }
+  // The flush timer makes every lone call wait ~100us: with a zero spin
+  // budget those waits can only be spent yielding.
+  EXPECT_GT(backend->stats().caller_yields.load(), 0u);
+}
+
+TEST_F(ZcBatchedTest, LargeSpinBudgetNeverYields) {
+  ZcBatchedConfig cfg;
+  cfg.workers = 1;
+  cfg.batch = 8;
+  cfg.flush = 100us;
+  cfg.spin = std::chrono::microseconds(10'000'000);  // outlasts any call
+  auto* backend = install(cfg);
+
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EchoArgs args;
+    args.in = i;
+    enclave_->ocall(echo_id_, args);
+    ASSERT_EQ(args.out, i + 1);
+  }
+  EXPECT_EQ(backend->stats().caller_yields.load(), 0u);
+}
+
+TEST_F(ZcBatchedTest, SpinOptionReachesTheBackendFromTheSpecPlane) {
+  install_backend_spec(*enclave_,
+                       "zc_batched:workers=1;batch=2;flush_us=50;spin_us=0");
+  auto* backend = dynamic_cast<ZcBatchedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->config().spin.count(), 0);
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 2u);
+}
+
 TEST_F(ZcBatchedTest, EcallDirectionServesTrustedFunctions) {
   const auto square_id =
       enclave_->ecalls().register_fn("square", [](MarshalledCall& call) {

@@ -37,6 +37,9 @@ std::string equivalence_spec(const std::string& key) {
   if (key == "hotcalls") return "hotcalls:workers=2";
   if (key == "zc_sharded") return "zc_sharded:shards=2;workers=1";
   if (key == "zc_batched") return "zc_batched:workers=2;batch=2;flush_us=100";
+  // A tiny completion table so queue-full backpressure fallbacks are part
+  // of what equivalence covers.
+  if (key == "zc_async") return "zc_async:workers=2;queue=4";
   return key;
 }
 
@@ -61,6 +64,7 @@ std::string ecall_equivalence_spec(const std::string& key) {
   if (key == "zc_batched") {
     return "zc_batched:direction=ecall;workers=1;batch=2;flush_us=100";
   }
+  if (key == "zc_async") return "zc_async:direction=ecall;workers=1;queue=4";
   if (key == "hotcalls") return "";  // untrusted responders only
   // Future backends: try the generic direction option; create() rejects it
   // cleanly if unsupported, which fails the test and forces a decision.
@@ -72,9 +76,9 @@ TEST(BackendEquivalenceCoverage, EveryRegistryKeyIsChecked) {
   // list really spans the registry (incl. hotcalls and the sharded/batched
   // call planes).
   const auto keys = BackendRegistry::instance().keys();
-  EXPECT_GE(keys.size(), 6u);
-  for (const char* key :
-       {"no_sl", "intel", "hotcalls", "zc", "zc_sharded", "zc_batched"}) {
+  EXPECT_GE(keys.size(), 7u);
+  for (const char* key : {"no_sl", "intel", "hotcalls", "zc", "zc_sharded",
+                          "zc_batched", "zc_async"}) {
     EXPECT_TRUE(std::find(keys.begin(), keys.end(), key) != keys.end())
         << key;
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/backend_registry.hpp"
+#include "core/zc_async.hpp"
 #include "core/zc_backend.hpp"
 #include "core/zc_batched.hpp"
 #include "core/zc_sharded.hpp"
@@ -279,6 +280,99 @@ TEST_F(StressTest, BatchedTinySlotPoolsForceFallbacks) {
   EXPECT_GT(raw->stats().fallback_calls.load(), 0u);
 }
 
+TEST_F(StressTest, AsyncBackendUnderPressure) {
+  install_backend_spec(*enclave_, "zc_async:workers=2;queue=16");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, AsyncTinyQueueForcesBackpressureFallbacks) {
+  // A single completion-table slot under concurrent submitters: most calls
+  // hit queue-full backpressure and must fall back inline — none may be
+  // lost, duplicated or corrupted.
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 1;
+  auto backend = make_zc_async_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+  hammer(scaled_threads(8), scaled_calls(1'000));
+  EXPECT_GT(raw->stats().fallback_calls.load(), 0u);
+}
+
+TEST_F(StressTest, AsyncConcurrentPipelinedSubmitters) {
+  // Every thread keeps a window of in-flight futures over a shared
+  // completion table, so slots, generations and completion signals are
+  // contended from all sides; every future must resolve to its own call.
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 8;
+  auto backend = make_zc_async_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  total_.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> expected{0};
+  std::atomic<int> corrupt{0};
+  const unsigned threads_n = scaled_threads(8);
+  const std::uint64_t calls = scaled_calls(1'000);
+  {
+    std::vector<std::jthread> submitters;
+    for (unsigned t = 0; t < threads_n; ++t) {
+      submitters.emplace_back([&, t] {
+        constexpr unsigned kDepth = 4;
+        std::mt19937_64 rng(t);
+        std::uint64_t local = 0;
+        std::vector<SumArgs> ring(kDepth);
+        std::vector<CallFuture> futures(kDepth);
+        auto check = [&](std::size_t k) {
+          futures[k].wait();
+          if (futures[k].valid() && ring[k].echoed != ring[k].value) {
+            corrupt.fetch_add(1);
+          }
+        };
+        for (std::uint64_t i = 0; i < calls; ++i) {
+          const std::size_t k = i % kDepth;
+          check(k);
+          ring[k].value = rng() % 1000;
+          ring[k].echoed = 0;
+          local += ring[k].value;
+          CallDesc desc;
+          desc.fn_id = sum_id_;
+          desc.args = &ring[k];
+          desc.args_size = sizeof(ring[k]);
+          futures[k] = raw->submit(desc);
+        }
+        for (std::size_t k = 0; k < kDepth; ++k) check(k);
+        expected.fetch_add(local);
+      });
+    }
+  }
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(total_.load(), expected.load());
+  EXPECT_EQ(raw->stats().total_calls(), calls * threads_n);
+}
+
+TEST_F(StressTest, AsyncPauseResumeChurnWhileSubmittersRun) {
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 4;
+  auto backend = make_zc_async_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
 TEST_F(StressTest, BackendHotSwapBetweenBatches) {
   // Swapping backends between batches (never mid-flight) must preserve
   // every call under all four policies in sequence.
@@ -300,6 +394,8 @@ TEST_F(StressTest, BackendHotSwapBetweenBatches) {
     install_backend_spec(*enclave_, "zc_sharded:shards=2;quantum_us=2000");
     hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "zc_batched:workers=2;batch=2;flush_us=50");
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(*enclave_, "zc_async:workers=2;queue=4");
     hammer(scaled_threads(4), scaled_calls(250));
   }
 }
