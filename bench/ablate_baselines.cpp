@@ -56,6 +56,7 @@ Row run_backend(const bench::BenchArgs& args, const ModeSpec& mode,
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   const std::uint64_t total_calls =
       args.scaled<std::uint64_t>(100'000, 20'000, 2'000);

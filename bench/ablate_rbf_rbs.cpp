@@ -22,6 +22,7 @@ using namespace zc::workload;
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   const std::uint64_t total_calls =
       args.scaled<std::uint64_t>(40'000, 8'000, 2'000);

@@ -76,6 +76,7 @@ BurstResult run_bursty(const bench::BenchArgs& args, const ModeSpec& mode,
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   const unsigned bursts = args.scaled<unsigned>(10, 3, 1);
   if (!args.backends.empty()) {

@@ -20,6 +20,7 @@
 #include "core/backend_registry.hpp"
 #include "sgx/sim_config.hpp"
 #include "workload/harness.hpp"
+#include "workload/synthetic.hpp"
 
 namespace zc::bench {
 
@@ -29,6 +30,8 @@ struct BenchArgs {
   bool pin = true;        ///< confine to an 8-cpu window (paper machine)
   unsigned repetitions = 1;
   unsigned pipeline = 1;  ///< --pipeline=D: in-flight calls per caller
+  /// --skew=zipf: zipf-ranked per-caller g durations (f/g drivers only).
+  workload::CallerSkew skew = workload::CallerSkew::kUniform;
   std::vector<std::string> backends;  ///< --backend=SPEC overrides
   std::string json_path;              ///< --json=FILE: JSONL result rows
 
@@ -46,6 +49,17 @@ struct BenchArgs {
       } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
         args.pipeline = static_cast<unsigned>(std::atoi(argv[i] + 11));
         if (args.pipeline == 0) args.pipeline = 1;
+      } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+        const std::string value = argv[i] + 7;
+        if (value == "uniform") {
+          args.skew = workload::CallerSkew::kUniform;
+        } else if (value == "zipf") {
+          args.skew = workload::CallerSkew::kZipf;
+        } else {
+          std::cerr << "bad --skew value '" << value
+                    << "' (expected uniform/zipf)\n";
+          std::exit(2);
+        }
       } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
         args.backends.emplace_back(argv[i] + 10);
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -53,6 +67,7 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::cout << "flags: --full (paper-scale) --smoke (CI lane)"
                   << " --no-pin --reps=N --pipeline=D (async backends)"
+                  << " --skew=uniform|zipf (f/g caller mix)"
                   << " --backend=SPEC (repeatable) --json=FILE\n\n"
                   << BackendRegistry::instance().help();
         std::exit(0);
@@ -195,6 +210,18 @@ inline void reject_pipeline_flag(const BenchArgs& args) {
                  "async call plane (bench_fig2_worker_sweep spec mode, "
                  "bench_micro_callpath) with an async-capable backend "
                  "(zc_async)\n";
+    std::exit(2);
+  }
+}
+
+/// Benches whose workload has no f/g caller mix (or whose sweep semantics
+/// a skewed mix would invalidate) call this so --skew fails loudly instead
+/// of silently measuring the uniform mix under a skewed label.
+inline void reject_skew_flag(const BenchArgs& args) {
+  if (args.skew != workload::CallerSkew::kUniform) {
+    std::cerr << "--skew is only supported by benches that drive the "
+                 "synthetic f/g caller mix (bench_fig2_worker_sweep spec "
+                 "mode, bench_micro_callpath)\n";
     std::exit(2);
   }
 }

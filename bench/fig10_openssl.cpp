@@ -118,6 +118,7 @@ CryptoResult run_crypto(const bench::BenchArgs& args, const ModeSpec& mode,
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   const std::size_t step_kb = args.smoke ? 240 : args.full ? 20 : 40;
   const unsigned rounds = args.scaled<unsigned>(100, 40, 4);

@@ -15,6 +15,7 @@ using namespace zc;
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   bench::print_header("Fig. 12", "dynamic benchmark %CPU usage over time",
                       args);

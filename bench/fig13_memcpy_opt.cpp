@@ -15,6 +15,7 @@ using namespace zc;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   const std::uint64_t base_ops =
       args.scaled<std::uint64_t>(100'000, 20'000, 5'000);

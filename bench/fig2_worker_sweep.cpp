@@ -43,7 +43,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
       "Fig. 2", "synthetic f/g runtime per --backend spec", args);
   std::cout << "# " << total_calls << " ocalls (" << total_calls * 3 / 4
             << " f + " << total_calls / 4 << " g), 8 enclave threads, g = "
-            << g_pauses << " pauses";
+            << g_pauses << " pauses, skew = " << to_string(args.skew);
   if (args.pipeline > 1) {
     std::cout << ", pipeline depth " << args.pipeline;
   }
@@ -65,6 +65,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
     run.total_calls = total_calls;
     run.enclave_threads = 8;
     run.g_pauses = g_pauses;
+    run.skew = args.skew;
     run.config = SynthConfig::kC1;
     run.pipeline = args.pipeline;
 
@@ -77,6 +78,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
                  .set("figure", "fig2")
                  .set("backend", zc::bench::canonical_spec(mode.spec))
                  .set("pipeline", static_cast<std::uint64_t>(args.pipeline))
+                 .set("skew", to_string(args.skew))
                  .set("g_pauses", g_pauses)
                  .set("total_calls", total_calls)
                  .set("seconds", r.seconds)
@@ -104,6 +106,9 @@ int main(int argc, char** argv) try {
     return run_spec_mode(args, total_calls, g_pauses, json);
   }
   zc::bench::reject_pipeline_flag(args);  // C1..C5 sweep is synchronous
+  // The C1..C5 sweep reproduces the paper's homogeneous mix; a skewed mix
+  // only makes sense against load-aware backends in spec mode.
+  zc::bench::reject_skew_flag(args);
 
   zc::bench::print_header(
       "Fig. 2", "synthetic f/g runtime vs Intel worker count (C1..C5)", args);

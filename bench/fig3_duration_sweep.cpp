@@ -20,6 +20,7 @@ using namespace zc::workload;
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   const std::uint64_t total_calls =
       args.scaled<std::uint64_t>(100'000, 10'000, 2'000);
   if (!args.backends.empty()) {

@@ -14,6 +14,7 @@ using namespace zc;
 int main(int argc, char** argv) try {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::reject_pipeline_flag(args);
+  bench::reject_skew_flag(args);
   bench::JsonRows json(args);
   std::vector<std::uint64_t> key_counts;
   const std::uint64_t step = args.full ? 1'000 : 2'000;

@@ -13,8 +13,14 @@
 //
 // --pipeline=D drives the spec lane through the async call plane with D
 // in-flight calls per iteration window (requires an async-capable spec,
-// i.e. zc_async).  --json=FILE persists one JSONL row per spec-lane
-// benchmark, keyed by the canonical spec, like the figure sweeps.
+// i.e. zc_async).  --skew=zipf switches the spec lane from the
+// single-caller no-op loop to the synthetic f/g workload with caller
+// threads at 2-shard capacity (kSkewCallers) whose g durations are
+// zipf-ranked (thread 0 heaviest) — the skewed mix that separates
+// load-aware shard routing (zc_sharded:policy=least_loaded, steal=on)
+// from count-blind policies.
+// --json=FILE persists one JSONL row per spec-lane benchmark, keyed by
+// the canonical spec, like the figure sweeps.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -31,6 +37,7 @@
 #include "sgx/enclave.hpp"
 #include "tlibc/memcpy.hpp"
 #include "workload/harness.hpp"
+#include "workload/synthetic.hpp"
 
 namespace {
 
@@ -41,14 +48,31 @@ using namespace zc;
 struct SpecRow {
   std::string backend;
   unsigned pipeline = 1;
+  std::string skew = "uniform";
+  std::uint64_t tes = 13'500;
   std::uint64_t iterations = 0;
+  std::uint64_t calls = 0;  ///< issued calls (== iterations in nop mode)
   double seconds = 0;
+  std::uint64_t switchless = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t steals = 0;
 };
 std::map<std::string, SpecRow>& spec_rows() {
   static std::map<std::string, SpecRow> rows;
   return rows;
 }
 unsigned g_pipeline = 1;
+workload::CallerSkew g_skew = workload::CallerSkew::kUniform;
+
+// The --skew lane's regime (see BM_BackendSpec): callers at 2-shard
+// capacity, g durations that keep a shard's worker busy for several
+// hand-off periods, and a transition cost safely above the measured
+// hand-off cost of narrow CI hosts so the simulated economics
+// (fallback transition >> switchless hand-off) hold everywhere.
+constexpr std::uint64_t kSkewCallsPerBatch = 2'000;
+constexpr unsigned kSkewCallers = 2;
+constexpr std::uint64_t kSkewGPauses = 100'000;
+constexpr std::uint64_t kSkewTes = 2'000'000;
 
 struct NopArgs {
   int x = 0;
@@ -178,12 +202,72 @@ BENCHMARK(BM_BatchedWaitPolicy)->Arg(0)->Arg(200);
 void BM_BackendSpec(benchmark::State& state, const std::string& spec_text,
                     unsigned pipeline) {
   try {
-    Fixture f;
+    const bool skewed = g_skew != workload::CallerSkew::kUniform;
+    Fixture f(skewed ? kSkewTes : 13'500);
     const BackendSpec spec = BackendSpec::parse(spec_text);
     const CallDirection direction = spec_direction(spec);
     const bool ecall = direction == CallDirection::kEcall;
     const std::uint32_t fn_id = ecall ? f.tnop_id : f.nop_id;
+    workload::SyntheticOcalls syn_ids;
+    if (skewed) {
+      if (ecall) {
+        state.SkipWithError(("--skew drives the ocall-plane f/g workload; '" +
+                             spec_text + "' is direction=ecall")
+                                .c_str());
+        return;
+      }
+      // Before install: intel sl= name resolution needs the table final.
+      syn_ids = workload::register_synthetic_ocalls(f.enclave->ocalls());
+    }
     install_backend_spec(*f.enclave, spec_text);
+    if (skewed) {
+      // Zipf-skewed multi-caller lane: each iteration runs one batch of
+      // the synthetic f/g workload (f,f,f,g per caller; g durations
+      // zipf-ranked by caller index, caller 0 heaviest), timed between
+      // the run barriers.  The regime is the one the paper's premise
+      // (transition >> hand-off) needs to hold even on 1-2 core CI
+      // hosts, where an inflated per-hand-off cost would otherwise
+      // drown the routing signal: heavy in-call durations and a high
+      // simulated Tes (see kSkew* below; both are recorded in the JSONL
+      // row).  Demand sits at shard capacity — pair it with specs like
+      // zc_sharded:shards=2;workers=1 — so count-blind routing keeps
+      // colliding with the zipf-stalled shard while least_loaded routes
+      // around it and steal=on converts the remaining collisions.
+      workload::SyntheticRunConfig run;
+      run.total_calls = kSkewCallsPerBatch;
+      run.enclave_threads = kSkewCallers;
+      run.g_pauses = kSkewGPauses;
+      run.skew = g_skew;
+      run.config = workload::SynthConfig::kC1;
+      run.pipeline = pipeline;
+      const BackendStats& bs = f.enclave->backend().stats();
+      const std::uint64_t sl0 = bs.switchless_calls.load();
+      const std::uint64_t fb0 = bs.fallback_calls.load();
+      const std::uint64_t st0 = bs.steals.load();
+      double seconds = 0;
+      std::uint64_t calls = 0;
+      for (auto _ : state) {
+        const workload::SyntheticResult r =
+            run_synthetic(*f.enclave, syn_ids, run);
+        seconds += r.seconds;
+        calls += r.f_calls + r.g_calls;
+      }
+      state.SetItemsProcessed(static_cast<std::int64_t>(calls));
+      state.SetLabel(spec.to_string() + "/skew=" + to_string(g_skew));
+      SpecRow row;
+      row.backend = spec.to_string();
+      row.pipeline = pipeline;
+      row.skew = to_string(g_skew);
+      row.tes = kSkewTes;
+      row.iterations = static_cast<std::uint64_t>(state.iterations());
+      row.calls = calls;
+      row.seconds = seconds;
+      row.switchless = bs.switchless_calls.load() - sl0;
+      row.fallbacks = bs.fallback_calls.load() - fb0;
+      row.steals = bs.steals.load() - st0;
+      spec_rows()[row.backend] = row;
+      return;
+    }
     ZcAsyncBackend* async = pipeline > 1
                                 ? workload::async_plane(*f.enclave, direction)
                                 : nullptr;
@@ -226,9 +310,18 @@ void BM_BackendSpec(benchmark::State& state, const std::string& spec_text,
     state.SetLabel(spec.to_string() +
                    (pipeline > 1 ? "/pipeline=" + std::to_string(pipeline)
                                  : ""));
-    spec_rows()[spec.to_string()] =
-        SpecRow{spec.to_string(), pipeline,
-                static_cast<std::uint64_t>(state.iterations()), seconds};
+    SpecRow row;
+    row.backend = spec.to_string();
+    row.pipeline = pipeline;
+    row.iterations = static_cast<std::uint64_t>(state.iterations());
+    row.calls = row.iterations;
+    row.seconds = seconds;
+    const BackendStats& bs = ecall ? f.enclave->ecall_backend().stats()
+                                   : f.enclave->backend().stats();
+    row.switchless = bs.switchless_calls.load();
+    row.fallbacks = bs.fallback_calls.load();
+    row.steals = bs.steals.load();
+    spec_rows()[row.backend] = row;
   } catch (const BackendSpecError& e) {
     state.SkipWithError(e.what());
   }
@@ -249,6 +342,17 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--pipeline=", 11) == 0) {
       g_pipeline = static_cast<unsigned>(std::atoi(argv[i] + 11));
       if (g_pipeline == 0) g_pipeline = 1;
+    } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      const std::string value = argv[i] + 7;
+      if (value == "uniform") {
+        g_skew = zc::workload::CallerSkew::kUniform;
+      } else if (value == "zipf") {
+        g_skew = zc::workload::CallerSkew::kZipf;
+      } else {
+        std::fprintf(stderr, "bad --skew value '%s' (expected uniform/zipf)\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0 ||
@@ -301,15 +405,20 @@ int main(int argc, char** argv) {
     }
     for (const auto& [key, row] : spec_rows()) {
       const double per_call =
-          row.iterations > 0 ? row.seconds / static_cast<double>(row.iterations)
-                             : 0.0;
+          row.calls > 0 ? row.seconds / static_cast<double>(row.calls) : 0.0;
       out << zc::bench::JsonRow()
                  .set("figure", "micro_callpath")
                  .set("backend", row.backend)
                  .set("pipeline", static_cast<std::uint64_t>(row.pipeline))
+                 .set("skew", row.skew)
+                 .set("tes", row.tes)
                  .set("iterations", row.iterations)
+                 .set("calls", row.calls)
                  .set("seconds", row.seconds)
                  .set("ns_per_call", per_call * 1e9)
+                 .set("switchless", row.switchless)
+                 .set("fallbacks", row.fallbacks)
+                 .set("steals", row.steals)
                  .str()
           << '\n';
     }

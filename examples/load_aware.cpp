@@ -1,0 +1,91 @@
+// Example: load-aware shard routing vs count-blind policies under a
+// skewed caller mix.
+//
+//   $ ./examples/load_aware [calls] [g_pauses] [callers] [tes_cycles]
+//
+// Runs the synthetic f/g workload with zipf-ranked g durations (caller 0
+// busy-waits `callers`x longer than the base) through three zc_sharded
+// configurations — round_robin, least_loaded, least_loaded + steal=on —
+// and prints wall time, call-path counters, cross-shard steals and the
+// per-shard serve distribution.  round_robin keeps routing calls onto
+// the shard whose worker is tied up in a long g call (each such call
+// pays a fallback transition); least_loaded reads the per-shard
+// in_flight gauge and routes around it; steal=on additionally lets an
+// unlucky call run on any idle shard instead of falling back.
+// Referenced from docs/architecture.md ("Load-aware scheduling").
+//
+// The defaults pick the regime where routing policy is visible even on a
+// 1-2 core host: two callers at 2-shard capacity, g durations long
+// enough to keep a shard's worker busy across several hand-offs, and a
+// transition cost above the host's hand-off cost (all overridable).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/zc_sharded.hpp"
+#include "workload/harness.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace zc;
+using namespace zc::workload;
+
+int main(int argc, char** argv) {
+  const std::uint64_t total_calls =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000;
+  const std::uint64_t g_pauses =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+  const unsigned callers =
+      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 2;
+  const std::uint64_t tes =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2'000'000;
+
+  const std::vector<std::pair<std::string, std::string>> modes = {
+      {"round_robin",
+       "zc_sharded:shards=2;workers=1;scheduler=off;policy=round_robin"},
+      {"least_loaded",
+       "zc_sharded:shards=2;workers=1;scheduler=off;policy=least_loaded"},
+      {"least_loaded+steal",
+       "zc_sharded:shards=2;workers=1;scheduler=off;policy=least_loaded;"
+       "steal=on"},
+  };
+
+  std::cout << "# " << total_calls << " f/g ocalls, " << callers
+            << " callers, zipf-skewed g durations (caller 0 heaviest, base "
+            << g_pauses << " pauses), 2 shards x 1 worker, tes=" << tes
+            << "\n";
+  Table table({"policy", "time[s]", "switchless", "fallback", "steals",
+               "served/shard"});
+  for (const auto& [label, spec] : modes) {
+    SimConfig sim;
+    sim.logical_cpus = 8;
+    sim.tes_cycles = tes;
+    auto enclave = Enclave::create(sim);
+    const auto ids = register_synthetic_ocalls(enclave->ocalls());
+    install_backend(*enclave, ModeSpec::parse(spec, label));
+    auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave->backend());
+
+    SyntheticRunConfig run;
+    run.total_calls = total_calls;
+    run.enclave_threads = callers;
+    run.g_pauses = g_pauses;
+    run.skew = CallerSkew::kZipf;
+    const SyntheticResult r = run_synthetic(*enclave, ids, run);
+
+    std::string served;
+    for (const std::uint64_t s : backend->per_shard_served()) {
+      if (!served.empty()) served += '/';
+      served += std::to_string(s);
+    }
+    table.add_row({label, Table::num(r.seconds, 3),
+                   std::to_string(r.switchless), std::to_string(r.fallbacks),
+                   std::to_string(backend->stats().steals.load()), served});
+  }
+  table.print(std::cout);
+  std::cout << "\nfewer fallbacks = fewer simulated enclave transitions: "
+               "load-aware routing wins exactly when the caller mix is "
+               "skewed.\n";
+  return 0;
+}

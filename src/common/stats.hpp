@@ -26,6 +26,24 @@ struct alignas(64) PaddedCounter {
   }
 };
 
+/// Cache-line padded gauge: like PaddedCounter but decrementable, for
+/// levels rather than totals (e.g. calls currently inside a backend).
+/// Relaxed ordering throughout — readers want a cheap, approximately
+/// current level, not a synchronisation point.
+struct alignas(64) PaddedGauge {
+  std::atomic<std::uint64_t> value{0};
+
+  void add(std::uint64_t n = 1) noexcept {
+    value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::uint64_t n = 1) noexcept {
+    value.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const noexcept {
+    return value.load(std::memory_order_relaxed);
+  }
+};
+
 /// Welford online mean/variance with min/max. Single-writer.
 class RunningStat {
  public:

@@ -270,6 +270,11 @@ ZcConfig zc_config_from_spec(Enclave& enclave, const BackendSpec& spec,
     throw BackendSpecError(key + ": pool_bytes must be > 0");
   }
   cfg.scheduler_enabled = spec.get_bool("scheduler", cfg.scheduler_enabled);
+  // Caller-side wait policy, uniform across the ZC family: bounded spin
+  // budget before yielding between completion polls (0 = yield
+  // immediately; a large budget restores the paper's pure spin).
+  cfg.spin = std::chrono::microseconds(
+      spec.get_u64("spin_us", static_cast<std::uint64_t>(cfg.spin.count())));
   if (spec.has("workers")) {
     const unsigned w = spec.get_unsigned("workers", 0);
     cfg.with_initial_workers(w);
@@ -303,9 +308,12 @@ std::unique_ptr<CallBackend> build_zc_sharded(Enclave& enclave,
     cfg.policy = ShardPolicy::kRoundRobin;
   } else if (policy == "caller_affinity") {
     cfg.policy = ShardPolicy::kCallerAffinity;
+  } else if (policy == "least_loaded") {
+    cfg.policy = ShardPolicy::kLeastLoaded;
   } else {
-    bad_value("policy", policy, "round_robin/caller_affinity");
+    bad_value("policy", policy, "round_robin/caller_affinity/least_loaded");
   }
+  cfg.steal = spec.get_bool("steal", cfg.steal);
   return make_zc_sharded_backend(enclave, std::move(cfg));
 }
 
@@ -322,6 +330,37 @@ std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
   cfg.batch = spec.get_unsigned("batch", cfg.batch);
   if (cfg.batch == 0) {
     throw BackendSpecError("zc_batched: batch must be > 0");
+  }
+  // Partial-flush policy: a fixed timer window (default, tuned with
+  // flush_us) or the feedback controller (flush=feedback, period tuned
+  // with quantum_us).  The knobs are mutually exclusive per policy.
+  const std::string flush_policy = spec.get_string("flush", "timer");
+  if (flush_policy == "feedback") {
+    cfg.flush_policy = BatchFlushPolicy::kFeedback;
+  } else if (flush_policy != "timer") {
+    bad_value("flush", flush_policy, "timer/feedback");
+  }
+  if (cfg.flush_policy == BatchFlushPolicy::kFeedback) {
+    if (spec.has("flush_us")) {
+      throw BackendSpecError(
+          "zc_batched: flush_us fixes the timer window; flush=feedback "
+          "replaces it with the adaptive controller (pick one)");
+    }
+    if (cfg.batch == 1) {
+      throw BackendSpecError(
+          "zc_batched: flush=feedback conflicts with batch=1 (every "
+          "publish flushes immediately; no window to adapt)");
+    }
+    const std::uint64_t quantum_us = spec.get_u64(
+        "quantum_us", static_cast<std::uint64_t>(cfg.quantum.count()));
+    if (quantum_us == 0) {
+      throw BackendSpecError("zc_batched: quantum_us must be > 0");
+    }
+    cfg.quantum = std::chrono::microseconds(quantum_us);
+  } else if (spec.has("quantum_us")) {
+    throw BackendSpecError(
+        "zc_batched: quantum_us is the feedback controller's period; it "
+        "needs flush=feedback");
   }
   const std::uint64_t flush_us = spec.get_u64(
       "flush_us", static_cast<std::uint64_t>(cfg.flush.count()));
@@ -467,19 +506,21 @@ BackendRegistry& BackendRegistry::instance() {
     r->register_backend(
         {"zc", "ZC-Switchless: configless adaptive workers",
          {"workers", "max_workers", "quantum_us", "mu", "pool_bytes",
-          "scheduler", "direction"},
+          "scheduler", "spin_us", "direction"},
          build_zc});
     r->register_backend(
         {"zc_sharded",
-         "ZC split into N independent worker shards (per-shard schedulers)",
-         {"shards", "policy", "workers", "max_workers", "quantum_us", "mu",
-          "pool_bytes", "scheduler", "direction"},
+         "ZC split into N independent worker shards (per-shard schedulers, "
+         "load-aware routing, optional stealing)",
+         {"shards", "policy", "steal", "workers", "max_workers", "quantum_us",
+          "mu", "pool_bytes", "scheduler", "spin_us", "direction"},
          build_zc_sharded});
     r->register_backend(
         {"zc_batched",
-         "ZC with per-worker batch buffers flushed on batch=K or flush_us=T",
-         {"workers", "batch", "flush_us", "spin_us", "pool_bytes",
-          "direction"},
+         "ZC with per-worker batch buffers flushed on batch=K, flush_us=T "
+         "or the adaptive flush=feedback window",
+         {"workers", "batch", "flush", "flush_us", "quantum_us", "spin_us",
+          "pool_bytes", "direction"},
          build_zc_batched});
     r->register_backend(
         {"zc_async",
@@ -559,8 +600,9 @@ std::string BackendRegistry::help() const {
       "  e.g. \"no_sl\", \"zc:workers=4,quantum_us=10000\",\n"
       "       \"intel:sl=read,write;workers=2;rbf=20000\",\n"
       "       \"hotcalls:workers=2\",\n"
-      "       \"zc_sharded:shards=4;policy=caller_affinity\",\n"
+      "       \"zc_sharded:shards=4;policy=least_loaded;steal=on\",\n"
       "       \"zc_batched:workers=2;batch=8;flush_us=100;spin_us=0\",\n"
+      "       \"zc_batched:workers=2;batch=8;flush=feedback\",\n"
       "       \"zc_async:workers=2;queue=16\"\n"
       "  direction=ecall installs the backend on the trusted-function\n"
       "  (ecall) plane where supported.\n";

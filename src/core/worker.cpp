@@ -73,8 +73,26 @@ void ZcWorker::submit(void* frame) noexcept {
 }
 
 void ZcWorker::wait_done() noexcept {
+  // Bounded spin, then yield (cfg.spin; see ZcConfig): identical to the
+  // paper's pure completion spin while the budget lasts — and the budget
+  // only expires when the host cannot run the worker concurrently, where
+  // yielding is what lets the worker finish at all.  The clock is read
+  // every 64 polls to keep the budget check off the critical path.
+  const std::uint64_t spin_ns =
+      static_cast<std::uint64_t>(cfg_.spin.count()) * 1'000;
+  const std::uint64_t spin_t0 = spin_ns > 0 ? wall_ns() : 0;
+  bool spinning = spin_ns > 0;
+  std::uint32_t polls = 0;
   while (status_.load(std::memory_order_acquire) != WorkerState::kWaiting) {
-    cpu_pause();
+    if (spinning) {
+      cpu_pause();
+      if ((++polls & 0x3F) == 0 && wall_ns() - spin_t0 >= spin_ns) {
+        spinning = false;
+      }
+    } else {
+      stats_.caller_yields.add();
+      std::this_thread::yield();
+    }
   }
 }
 
@@ -150,9 +168,14 @@ void ZcWorker::main() {
     }
 
     // Busy-wait for work: this (or the caller's completion spin) is the
-    // "exactly one thread busy-waiting per active worker" of §IV-A.
+    // "exactly one thread busy-waiting per active worker" of §IV-A.  The
+    // periodic yield is the batched worker's narrow-host courtesy: on a
+    // host without a core per worker it lets publishers actually run;
+    // with one it costs a syscall every 1024 pauses.
     cpu_pause();
-    if (cfg_.meter != nullptr && (++iterations & 0x3FFF) == 0) {
+    ++iterations;
+    if ((iterations & 0x3FF) == 0) std::this_thread::yield();
+    if (cfg_.meter != nullptr && (iterations & 0x3FFF) == 0) {
       cfg_.meter->checkpoint(meter_slot);
     }
   }

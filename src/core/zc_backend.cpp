@@ -57,15 +57,12 @@ CallPath ZcBackend::fallback(const CallDesc& desc) {
   return CallPath::kFallback;
 }
 
-CallPath ZcBackend::invoke(const CallDesc& desc) {
-  if (!running_.load(std::memory_order_relaxed)) {
-    execute_regular(desc);
-    stats_.regular_calls.add();
-    return CallPath::kRegular;
-  }
+bool ZcBackend::try_invoke_switchless(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) return false;
 
   // Switchless-call selection (§IV-C): run switchlessly iff an idle worker
-  // exists right now; otherwise fall back immediately.
+  // exists right now; otherwise refuse immediately (no busy waiting for
+  // capacity).
   const unsigned m = active_count_.load(std::memory_order_acquire);
   ZcWorker* worker = nullptr;
   for (unsigned i = 0; i < m && i < workers_.size(); ++i) {
@@ -74,13 +71,19 @@ CallPath ZcBackend::invoke(const CallDesc& desc) {
       break;
     }
   }
-  if (worker == nullptr) return fallback(desc);
+  if (worker == nullptr) return false;
 
+  // The gauge covers reservation through collection: it counts calls
+  // occupying a worker right now, which is what least_loaded routing
+  // wants to balance (fallbacks run on the caller's own thread and do
+  // not occupy this backend, so they are deliberately not counted).
+  stats_.in_flight.add();
   void* mem = worker->alloc_frame(frame_bytes(desc));
   if (mem == nullptr) {
     // Request larger than the whole pool: cannot go switchless.
     worker->cancel_reservation();
-    return fallback(desc);
+    stats_.in_flight.sub();
+    return false;
   }
 
   MarshalledCall call = marshal_into(mem, desc);
@@ -88,8 +91,19 @@ CallPath ZcBackend::invoke(const CallDesc& desc) {
   worker->wait_done();
   unmarshal_from(call, desc);
   worker->release();
+  stats_.in_flight.sub();
   stats_.switchless_calls.add();
-  return CallPath::kSwitchless;
+  return true;
+}
+
+CallPath ZcBackend::invoke(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular(desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+  if (try_invoke_switchless(desc)) return CallPath::kSwitchless;
+  return fallback(desc);
 }
 
 std::unique_ptr<ZcBackend> make_zc_backend(Enclave& enclave, ZcConfig cfg) {

@@ -2,9 +2,20 @@
 
 #include "common/cycles.hpp"
 #include "common/pin.hpp"
+#include "core/scheduler.hpp"
 #include "sgx/marshal.hpp"
 
 namespace zc {
+
+const char* to_string(BatchFlushPolicy policy) noexcept {
+  switch (policy) {
+    case BatchFlushPolicy::kTimer:
+      return "timer";
+    case BatchFlushPolicy::kFeedback:
+      return "feedback";
+  }
+  return "?";
+}
 
 ZcBatchedBackend::Worker::Worker(unsigned batch, std::size_t pool_bytes) {
   slots.reserve(batch);
@@ -26,6 +37,8 @@ void ZcBatchedBackend::wake(Worker& w) {
 
 ZcBatchedBackend::ZcBatchedBackend(Enclave& enclave, ZcBatchedConfig cfg)
     : enclave_(enclave), cfg_(std::move(cfg)) {
+  flush_ns_.store(static_cast<std::uint64_t>(cfg_.flush.count()) * 1'000,
+                  std::memory_order_relaxed);
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     workers_.push_back(
@@ -41,6 +54,10 @@ void ZcBatchedBackend::start() {
     w->cmd.store(WorkerCmd::kRun, std::memory_order_release);
     w->thread = std::jthread([this, worker = w.get()] { worker_main(*worker); });
   }
+  if (cfg_.flush_policy == BatchFlushPolicy::kFeedback) {
+    controller_ =
+        std::jthread([this](std::stop_token st) { controller_main(st); });
+  }
   active_count_.store(static_cast<unsigned>(workers_.size()),
                       std::memory_order_release);
 }
@@ -48,10 +65,49 @@ void ZcBatchedBackend::start() {
 void ZcBatchedBackend::stop() {
   if (!running_.exchange(false)) return;
   active_count_.store(0, std::memory_order_release);
+  if (controller_.joinable()) {
+    controller_.request_stop();
+    controller_cv_.notify_all();
+    controller_.join();
+  }
   for (auto& w : workers_) {
     w->cmd.store(WorkerCmd::kExit, std::memory_order_seq_cst);
     wake(*w);
     if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+// Re-decides the partial-flush window once per quantum from the flush and
+// call deltas observed during it.  Workers pick up the new window on their
+// next sweep; pause/resume is unaffected (a draining worker flushes
+// regardless of the window), so no batch is ever stranded by adaptation.
+void ZcBatchedBackend::controller_main(const std::stop_token& st) {
+  const std::uint64_t base_ns =
+      static_cast<std::uint64_t>(cfg_.flush.count()) * 1'000;
+  const std::uint64_t min_ns = base_ns / 8 > 1'000 ? base_ns / 8 : 1'000;
+  const std::uint64_t max_ns = base_ns * 8;
+  std::uint64_t last_flushes = stats_.batch_flushes.load();
+  std::uint64_t last_calls = stats_.switchless_calls.load();
+  while (!st.stop_requested()) {
+    {
+      // Interruptible quantum sleep: wait_for returns early (without the
+      // timeout) once stop is requested; the loop condition exits then.
+      std::unique_lock lock(controller_mu_);
+      controller_cv_.wait_for(lock, st, cfg_.quantum, [] { return false; });
+    }
+    if (st.stop_requested()) break;
+    const std::uint64_t flushes = stats_.batch_flushes.load();
+    const std::uint64_t calls = stats_.switchless_calls.load();
+    const std::uint64_t window = flush_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t next =
+        adapt_flush_window(window, flushes - last_flushes, calls - last_calls,
+                           cfg_.batch, min_ns, max_ns);
+    if (flushes != last_flushes) {
+      flush_decisions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    flush_ns_.store(next, std::memory_order_relaxed);
+    last_flushes = flushes;
+    last_calls = calls;
   }
 }
 
@@ -194,11 +250,12 @@ void ZcBatchedBackend::worker_main(Worker& w) {
     meter_slot = cfg_.meter->register_current_thread();
   }
 
-  const auto flush_ns =
-      static_cast<std::uint64_t>(cfg_.flush.count()) * 1'000;
   std::uint64_t iterations = 0;
   for (;;) {
     const WorkerCmd cmd = w.cmd.load(std::memory_order_acquire);
+    // Re-read per sweep: under flush=feedback the controller retunes the
+    // window while workers run (fixed at cfg_.flush under the timer).
+    const std::uint64_t flush_ns = flush_ns_.load(std::memory_order_relaxed);
 
     unsigned pending = 0;
     std::uint64_t oldest = ~std::uint64_t{0};

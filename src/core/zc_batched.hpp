@@ -7,8 +7,21 @@
 // their request into it and publish, then spin for their own slot's result.
 // The worker sweeps its buffer and executes *all* published requests in one
 // pass — one wakeup, one sweep, K calls — flushing when the buffer fills
-// (`batch=K`) or when the oldest published request has waited `flush_us`
-// (so a lone caller is never stalled longer than the flush timeout).
+// (`batch=K`) or when the oldest published request has waited out the
+// flush window (so a lone caller is never stalled longer than the flush
+// timeout).
+//
+// Two partial-flush policies pick that window:
+//  - timer (`flush_us=T`): a fixed window, the original design;
+//  - feedback (`flush=feedback`): a controller thread re-decides the
+//    window every quantum from the observed mean batch fill — the
+//    feedback scheduler's grow/shrink-by-quantum idea applied to the
+//    flush grace instead of the worker count (rule: adapt_flush_window in
+//    core/scheduler.hpp).  Mostly-empty timer flushes widen the window
+//    (more amortisation under sparse load); buffers that fill on their
+//    own narrow it (stragglers right after a burst flush promptly).  The
+//    window is clamped to [flush/8 (>= 1us), flush*8], so no caller is
+//    ever stranded longer than 8x the configured base window.
 //
 // Slot life cycle (per slot, lock-free on the hot path):
 //
@@ -39,11 +52,24 @@
 
 namespace zc {
 
+enum class BatchFlushPolicy : std::uint8_t {
+  kTimer,     ///< fixed window: flush_us, never adapted
+  kFeedback,  ///< window re-decided every quantum from observed batch fill
+};
+
+const char* to_string(BatchFlushPolicy policy) noexcept;
+
 struct ZcBatchedConfig {
   unsigned workers = 2;  ///< batch workers, each owning one buffer (> 0)
   unsigned batch = 8;    ///< slots per worker buffer; flush when full (> 0)
-  /// Max age of the oldest published request before a partial flush.
+  /// Max age of the oldest published request before a partial flush (the
+  /// fixed window under kTimer; the initial window and the anchor of the
+  /// [flush/8, flush*8] clamp under kFeedback).
   std::chrono::microseconds flush{100};
+  BatchFlushPolicy flush_policy = BatchFlushPolicy::kTimer;
+  /// Feedback controller period: how often the flush window is re-decided
+  /// (kFeedback only; the paper's scheduler quantum default).
+  std::chrono::microseconds quantum{10'000};
   /// Caller-side wait policy: spin (`pause`) for at most this budget, then
   /// yield between result polls.  0 = yield immediately (narrowest-host
   /// politeness); a large budget approximates hotcalls-style pure spinning.
@@ -87,6 +113,18 @@ class ZcBatchedBackend final : public CallBackend {
     return stats_.batch_flushes.load();
   }
 
+  /// The partial-flush window currently in force (fixed under the timer
+  /// policy; live controller output under flush=feedback).
+  std::uint64_t flush_window_ns() const noexcept {
+    return flush_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Window re-decisions taken by the feedback controller so far (0 under
+  /// the timer policy; counts quanta with traffic, not window changes).
+  std::uint64_t flush_decisions() const noexcept {
+    return flush_decisions_.load(std::memory_order_relaxed);
+  }
+
   const ZcBatchedConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -120,6 +158,7 @@ class ZcBatchedBackend final : public CallBackend {
   static void wake(Worker& w);
   void worker_main(Worker& w);
   void flush(Worker& w);
+  void controller_main(const std::stop_token& st);
   void execute_regular(const CallDesc& desc);
   CallPath fallback(const CallDesc& desc);
 
@@ -129,6 +168,14 @@ class ZcBatchedBackend final : public CallBackend {
   std::atomic<unsigned> active_count_{0};
   std::atomic<unsigned> ticket_{0};
   std::atomic<bool> running_{false};
+
+  /// Live partial-flush window, read by every worker sweep.  Written only
+  /// by the feedback controller (or fixed at cfg_.flush under kTimer).
+  std::atomic<std::uint64_t> flush_ns_{0};
+  std::atomic<std::uint64_t> flush_decisions_{0};
+  std::mutex controller_mu_;
+  std::condition_variable_any controller_cv_;
+  std::jthread controller_;
 };
 
 std::unique_ptr<ZcBatchedBackend> make_zc_batched_backend(

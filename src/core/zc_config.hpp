@@ -35,6 +35,15 @@ struct ZcConfig {
   /// reset-via-ocall (the latency spikes discussed under Fig. 8).
   std::size_t worker_pool_bytes = std::size_t{1} << 20;
 
+  /// Caller-side wait policy while a worker executes the request: spin
+  /// (`pause`) for at most this budget, then yield between result polls
+  /// (every yield bumps BackendStats::caller_yields).  The paper's design
+  /// spins for the whole wait — on a machine with a core per busy-waiting
+  /// thread the budget never expires and behaviour is identical — but on
+  /// narrower hosts an unbounded spin burns whole scheduler timeslices
+  /// per hand-off (the same pragmatism as ZcBatchedConfig::spin).
+  std::chrono::microseconds spin{50};
+
   /// Disable the feedback scheduler and keep `initial workers` forever
   /// (ablation: isolates the call path from the adaptation policy).
   bool scheduler_enabled = true;

@@ -11,6 +11,8 @@ const char* to_string(ShardPolicy policy) noexcept {
       return "round_robin";
     case ShardPolicy::kCallerAffinity:
       return "caller_affinity";
+    case ShardPolicy::kLeastLoaded:
+      return "least_loaded";
   }
   return "?";
 }
@@ -56,20 +58,37 @@ std::vector<std::uint64_t> ZcShardedBackend::per_shard_served() const {
 
 unsigned ZcShardedBackend::select_shard() noexcept {
   const auto n = static_cast<unsigned>(shards_.size());
-  if (cfg_.policy == ShardPolicy::kCallerAffinity) {
-    return static_cast<unsigned>(
-        std::hash<std::thread::id>{}(std::this_thread::get_id()) % n);
+  switch (cfg_.policy) {
+    case ShardPolicy::kCallerAffinity:
+      return static_cast<unsigned>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) % n);
+    case ShardPolicy::kLeastLoaded: {
+      // One relaxed load per shard; the gauge is approximate by design
+      // (two callers can pick the same minimum) — the cheapness is the
+      // point, and the next call sees the corrected level.
+      unsigned best = 0;
+      std::uint64_t best_load = shards_[0]->stats().in_flight.load();
+      for (unsigned i = 1; i < n && best_load > 0; ++i) {
+        const std::uint64_t load = shards_[i]->stats().in_flight.load();
+        if (load < best_load) {
+          best = i;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case ShardPolicy::kRoundRobin:
+      break;
   }
   return ticket_.fetch_add(1, std::memory_order_relaxed) % n;
 }
 
-CallPath ZcShardedBackend::invoke(const CallDesc& desc) {
-  const CallPath path = shards_[select_shard()]->invoke(desc);
-  // Mirror the call-path counters into the live stats() block (callers
-  // cache the reference and read deltas mid-run, so lazy aggregation is
-  // not an option).  One relaxed add on a padded line per call — the same
-  // shared-stats cost every other backend pays; the *handoff* path
-  // (reservation, request buffer, completion spin) stays shard-private.
+// Mirrors a call-path outcome into the live stats() block (callers cache
+// the reference and read deltas mid-run, so lazy aggregation is not an
+// option).  One relaxed add on a padded line per call — the same
+// shared-stats cost every other backend pays; the *handoff* path
+// (reservation, request buffer, completion spin) stays shard-private.
+CallPath ZcShardedBackend::record(CallPath path) noexcept {
   switch (path) {
     case CallPath::kRegular:
       stats_.regular_calls.add();
@@ -82,6 +101,30 @@ CallPath ZcShardedBackend::invoke(const CallDesc& desc) {
       break;
   }
   return path;
+}
+
+CallPath ZcShardedBackend::invoke(const CallDesc& desc) {
+  const unsigned primary = select_shard();
+  if (!cfg_.steal) return record(shards_[primary]->invoke(desc));
+
+  if (shards_[primary]->try_invoke_switchless(desc)) {
+    return record(CallPath::kSwitchless);
+  }
+  // Bounded steal: probe every other shard once for an idle worker.  An
+  // oversized frame would be refused by every shard for the same reason,
+  // so skip the probe loop outright.
+  const auto n = static_cast<unsigned>(shards_.size());
+  if (frame_bytes(desc) <= cfg_.shard.worker_pool_bytes) {
+    for (unsigned i = 1; i < n; ++i) {
+      if (shards_[(primary + i) % n]->try_invoke_switchless(desc)) {
+        stats_.steals.add();
+        return record(CallPath::kSwitchless);
+      }
+    }
+  }
+  // No idle worker anywhere: fall back through the primary shard so its
+  // feedback scheduler still observes the unmet demand as F_i.
+  return record(shards_[primary]->invoke(desc));
 }
 
 std::unique_ptr<ZcShardedBackend> make_zc_sharded_backend(Enclave& enclave,

@@ -18,11 +18,25 @@
 //  - caller_affinity: the calling thread hashes to a stable shard, so a
 //    thread's requests always hit the same workers (warm pools, no
 //    cross-shard cache-line bouncing).  Best when callers are long-lived.
+//  - least_loaded: routes to the shard with the fewest calls currently
+//    occupying its workers (each shard's stats().in_flight gauge, one
+//    relaxed load per shard).  Count-blind policies route onto shards
+//    whose workers are tied up in long calls; this one follows *observed*
+//    load, the same principle the feedback scheduler applies to worker
+//    counts.  Ties go to the lowest index, so an idle backend routes
+//    deterministically.
 //
-// A call routed to a shard with no idle worker falls back to a regular
-// ocall immediately — the paper's §IV-C no-busy-wait property is preserved
-// per shard; we deliberately do not probe other shards, which would
-// reintroduce the cross-shard scan this backend exists to eliminate.
+// By default a call routed to a shard with no idle worker falls back to a
+// regular ocall immediately — the paper's §IV-C no-busy-wait property is
+// preserved per shard, and shards stay strictly isolated.  With steal=on
+// the caller instead probes the remaining shards once (bounded, no
+// retries, no spinning) and runs on the first idle worker it finds —
+// cross-shard work stealing as a measurable ablation against the
+// strict-isolation design: it trades the cross-shard cache-line scan this
+// backend exists to eliminate for fewer fallback transitions under skewed
+// load.  Stolen calls are counted in stats().steals; a call that finds no
+// idle worker anywhere still falls back through its primary shard, so the
+// primary's feedback scheduler observes the unmet demand.
 #pragma once
 
 #include <atomic>
@@ -36,6 +50,7 @@ namespace zc {
 enum class ShardPolicy : std::uint8_t {
   kRoundRobin,      ///< relaxed atomic ticket, even spread
   kCallerAffinity,  ///< hash of the calling thread id, stable routing
+  kLeastLoaded,     ///< fewest in-flight calls right now (load-aware)
 };
 
 const char* to_string(ShardPolicy policy) noexcept;
@@ -43,6 +58,9 @@ const char* to_string(ShardPolicy policy) noexcept;
 struct ZcShardedConfig {
   unsigned shards = 2;  ///< independent worker shards (> 0)
   ShardPolicy policy = ShardPolicy::kRoundRobin;
+  /// Bounded cross-shard work stealing: a call whose primary shard has no
+  /// idle worker probes the other shards once before falling back.
+  bool steal = false;
   /// Per-shard worker-pool configuration (worker counts, quantum, pools,
   /// scheduler and direction all apply to each shard independently).
   ZcConfig shard;
@@ -82,6 +100,7 @@ class ZcShardedBackend final : public CallBackend {
 
  private:
   unsigned select_shard() noexcept;
+  CallPath record(CallPath path) noexcept;
 
   Enclave& enclave_;
   ZcShardedConfig cfg_;

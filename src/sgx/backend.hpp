@@ -45,6 +45,12 @@ struct BackendStats {
   PaddedCounter batch_flushes;     ///< batched-backend buffer flushes
   PaddedCounter caller_yields;     ///< yields by callers whose spin expired
                                    ///< (one per yield, not one per call)
+  PaddedCounter steals;            ///< calls served by a non-primary shard
+                                   ///< (sharded backend, steal=on)
+  /// Calls currently occupying one of this backend's workers (claimed
+  /// through collected).  This is the cheap per-shard load signal the
+  /// sharded backend's least_loaded selector reads: a level, not a total.
+  PaddedGauge in_flight;
 
   std::uint64_t total_calls() const noexcept {
     return regular_calls.load() + switchless_calls.load() +

@@ -33,6 +33,22 @@ SyntheticOcalls register_synthetic_ocalls(OcallTable& table) {
   return ids;
 }
 
+const char* to_string(CallerSkew skew) noexcept {
+  switch (skew) {
+    case CallerSkew::kUniform:
+      return "uniform";
+    case CallerSkew::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+std::uint64_t zipf_g_pauses(std::uint64_t g_pauses, unsigned thread,
+                            unsigned threads) noexcept {
+  if (threads == 0) return g_pauses;
+  return g_pauses * threads / (thread + 1);
+}
+
 const char* to_string(SynthConfig c) noexcept {
   switch (c) {
     case SynthConfig::kC1:
@@ -111,6 +127,11 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
       if (sim.pin_threads) {
         pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
       }
+      // Per-caller g duration: uniform, or zipf-ranked by thread index.
+      const std::uint64_t g_pauses =
+          run.skew == CallerSkew::kZipf
+              ? zipf_g_pauses(run.g_pauses, t, threads)
+              : run.g_pauses;
       sync.arrive_and_wait();  // start line
       // One ecall to "enter the enclave", then issue the ocall mix.
       enclave.ecall([&] {
@@ -133,7 +154,7 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
           if (async == nullptr) {
             if (is_g) {
               GArgs args;
-              args.pauses = run.g_pauses;
+              args.pauses = g_pauses;
               enclave.ocall(alias ? ids.g_b : ids.g_a, args);
               ++local_g;
             } else {
@@ -147,7 +168,7 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
           ring.future.wait();  // no-op on an invalid (fresh) future
           CallDesc desc;
           if (is_g) {
-            ring.g.pauses = run.g_pauses;
+            ring.g.pauses = g_pauses;
             desc.fn_id = alias ? ids.g_b : ids.g_a;
             desc.args = &ring.g;
             desc.args_size = sizeof(ring.g);

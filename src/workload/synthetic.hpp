@@ -60,10 +60,30 @@ std::vector<std::uint32_t> intel_switchless_set(SynthConfig config,
 /// core/backend_registry.hpp).
 std::string intel_mode_spec(SynthConfig config, unsigned workers);
 
+/// How g-call durations are distributed across the caller threads.
+/// kUniform is the paper's homogeneous mix; kZipf gives caller t a
+/// zipf-ranked duration weight (thread 0 heaviest), producing the skewed,
+/// bursty many-caller mix that count-blind shard routing handles worst —
+/// the workload `zc_sharded:policy=least_loaded` exists for.
+enum class CallerSkew : std::uint8_t {
+  kUniform,
+  kZipf,
+};
+
+const char* to_string(CallerSkew skew) noexcept;
+
+/// The zipf duration weight applied to caller `thread` of `threads` under
+/// CallerSkew::kZipf: g_pauses is scaled by threads/(thread+1), so thread
+/// 0 busy-waits `threads`x longer than the base and the tail approaches
+/// the uniform duration.  Exposed for tests and JSONL row documentation.
+std::uint64_t zipf_g_pauses(std::uint64_t g_pauses, unsigned thread,
+                            unsigned threads) noexcept;
+
 struct SyntheticRunConfig {
   std::uint64_t total_calls = 100'000;  ///< n = α + β with α = 3β
   unsigned enclave_threads = 8;         ///< paper: 8 in-enclave threads
   std::uint64_t g_pauses = 10;          ///< duration of g in pauses
+  CallerSkew skew = CallerSkew::kUniform;  ///< per-caller duration skew
   SynthConfig config = SynthConfig::kC1;
   /// In-flight calls per caller thread.  > 1 drives the installed
   /// backend's async plane (submit + windowed wait); requires an

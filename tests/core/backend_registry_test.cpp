@@ -231,6 +231,50 @@ TEST_F(BackendRegistryTest, ShardedAndBatchedValueErrorsAreTyped) {
             nullptr);
 }
 
+TEST_F(BackendRegistryTest, LoadAwareShardOptionsAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  // least_loaded is a first-class policy value; steal takes on/off.
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:policy=least_loaded"),
+            nullptr);
+  EXPECT_NE(registry.create(*enclave_,
+                            "zc_sharded:shards=4;policy=least_loaded;"
+                            "steal=on;scheduler=off;workers=1"),
+            nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:steal=off"), nullptr);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:steal=banana"),
+               BackendSpecError);
+  // steal/policy belong to zc_sharded only.
+  EXPECT_THROW(registry.create(*enclave_, "zc:steal=on"), BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:policy=least_loaded"),
+               BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, BatchedFlushPolicyIsValidated) {
+  auto& registry = BackendRegistry::instance();
+  // The two policies and their knobs.
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:flush=timer"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:flush=feedback"), nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_, "zc_batched:batch=4;flush=feedback;quantum_us=2000"),
+            nullptr);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:flush=bogus"),
+               BackendSpecError);
+  // flush_us belongs to the timer policy, quantum_us to feedback: mixing
+  // them (or feedback with batch=1, which has no window to adapt) is a
+  // conflict, not a silent preference.
+  EXPECT_THROW(
+      registry.create(*enclave_, "zc_batched:flush=feedback;flush_us=100"),
+      BackendSpecError);
+  EXPECT_THROW(
+      registry.create(*enclave_, "zc_batched:flush=feedback;batch=1"),
+      BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_batched:quantum_us=2000"),
+               BackendSpecError);
+  EXPECT_THROW(
+      registry.create(*enclave_, "zc_batched:flush=feedback;quantum_us=0"),
+      BackendSpecError);
+}
+
 TEST_F(BackendRegistryTest, BatchedSpinBudgetIsValidated) {
   auto& registry = BackendRegistry::instance();
   // Malformed spin budgets: empty value (grammar), non-numeric value.
@@ -240,10 +284,11 @@ TEST_F(BackendRegistryTest, BatchedSpinBudgetIsValidated) {
                BackendSpecError);
   EXPECT_THROW(registry.create(*enclave_, "zc_batched:spin_us=-1"),
                BackendSpecError);
-  // The option belongs to zc_batched only — on the other ZC keys it is a
-  // conflict with their wait protocols (zc spins by design, zc_async never
-  // spins), rejected as an unknown option.
-  EXPECT_THROW(registry.create(*enclave_, "zc:spin_us=10"), BackendSpecError);
+  // The spin budget is uniform across the ZC family's spinning callers
+  // (zc and zc_sharded take it too); zc_async never spins by design, so
+  // there it stays an unknown option.
+  EXPECT_NE(registry.create(*enclave_, "zc:spin_us=10"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:spin_us=10"), nullptr);
   EXPECT_THROW(registry.create(*enclave_, "zc_async:spin_us=10"),
                BackendSpecError);
   // spin_us=0 is valid and means yield-immediately.

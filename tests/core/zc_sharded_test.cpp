@@ -1,4 +1,5 @@
-// Sharded ZC backend: shard routing policies, per-shard isolation,
+// Sharded ZC backend: shard routing policies (incl. load-aware
+// least_loaded), bounded cross-shard stealing, per-shard isolation,
 // fallback behaviour and the trusted-worker (ecall) direction.
 #include "core/zc_sharded.hpp"
 
@@ -31,14 +32,21 @@ class ZcShardedTest : public ::testing::Test {
           auto* a = static_cast<EchoArgs*>(call.args);
           a->out = a->in + 1;
         });
+    gate_id_ = enclave_->ocalls().register_fn("gate", [this](MarshalledCall&) {
+      gate_entered_.store(true, std::memory_order_release);
+      while (!gate_open_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
   }
 
   // Installs a scheduler-off sharded backend and returns the raw pointer.
   ZcShardedBackend* install(unsigned shards, ShardPolicy policy,
-                            unsigned workers_per_shard) {
+                            unsigned workers_per_shard, bool steal = false) {
     ZcShardedConfig cfg;
     cfg.shards = shards;
     cfg.policy = policy;
+    cfg.steal = steal;
     cfg.shard.scheduler_enabled = false;
     cfg.shard.with_initial_workers(workers_per_shard);
     auto backend = make_zc_sharded_backend(*enclave_, cfg);
@@ -47,8 +55,32 @@ class ZcShardedTest : public ::testing::Test {
     return raw;
   }
 
+  // Occupies one worker of `shard` with a gate call issued directly at
+  // that shard (bypassing routing), and returns once the worker is inside
+  // the handler — i.e. once the shard's in_flight gauge reflects the
+  // stall.  release_stall() lets the gate call finish.
+  std::jthread stall_shard(ZcShardedBackend& backend, unsigned shard) {
+    std::jthread holder([this, &backend, shard] {
+      EchoArgs args;
+      CallDesc desc;
+      desc.fn_id = gate_id_;
+      desc.args = &args;
+      desc.args_size = sizeof(args);
+      backend.shard(shard).invoke(desc);
+    });
+    while (!gate_entered_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return holder;
+  }
+
+  void release_stall() { gate_open_.store(true, std::memory_order_release); }
+
   std::unique_ptr<Enclave> enclave_;
   std::uint32_t echo_id_ = 0;
+  std::uint32_t gate_id_ = 0;
+  std::atomic<bool> gate_entered_{false};
+  std::atomic<bool> gate_open_{false};
 };
 
 TEST_F(ZcShardedTest, RoundRobinSpreadsCallsAcrossShards) {
@@ -120,6 +152,153 @@ TEST_F(ZcShardedTest, ResultsSurviveConcurrentCallers) {
     }
   }
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ZcShardedTest, LeastLoadedIdleTiesBreakToTheLowestShard) {
+  auto* backend = install(3, ShardPolicy::kLeastLoaded, 1);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  // A sequential caller never observes load anywhere: every call routes
+  // to shard 0 deterministically.
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[0], 50u);
+  EXPECT_EQ(served[1] + served[2], 0u);
+}
+
+TEST_F(ZcShardedTest, LeastLoadedRoutesAwayFromAStalledShard) {
+  auto* backend = install(2, ShardPolicy::kLeastLoaded, 1);
+  // Occupy shard 0's only worker with a long call: its in_flight gauge
+  // stays at 1 while the gate is closed.
+  std::jthread holder = stall_shard(*backend, 0);
+  EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 1u);
+
+  // Every routed call must now pick shard 1 — no fallbacks, no calls
+  // queued behind the stalled worker (a count-blind policy would send
+  // half of them to shard 0 and pay a fallback transition for each).
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[1], 100u);
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 0u);
+
+  release_stall();
+  holder.join();
+  EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 0u);
+}
+
+TEST_F(ZcShardedTest, StealServesFromANonPrimaryShard) {
+  // Round-robin tickets start at shard 0, whose only worker is stalled:
+  // with steal=on the first call must be served by shard 1's idle worker
+  // instead of falling back.
+  auto* backend = install(2, ShardPolicy::kRoundRobin, 1, /*steal=*/true);
+  std::jthread holder = stall_shard(*backend, 0);
+
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 8u);
+  EXPECT_EQ(backend->stats().steals.load(), 1u);
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 0u);
+
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, StealOffPreservesStrictIsolation) {
+  // Identical situation without steal=on: the call routed to the stalled
+  // shard falls back immediately (§IV-C per shard) and never probes the
+  // idle neighbour.
+  auto* backend = install(2, ShardPolicy::kRoundRobin, 1, /*steal=*/false);
+  std::jthread holder = stall_shard(*backend, 0);
+
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kFallback);
+  EXPECT_EQ(args.out, 8u);  // the fallback still executed the call
+  EXPECT_EQ(backend->stats().steals.load(), 0u);
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[1], 0u);
+
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, StealFallsBackWhenNoShardIsIdle) {
+  auto* backend = install(1, ShardPolicy::kRoundRobin, 1, /*steal=*/true);
+  std::jthread holder = stall_shard(*backend, 0);
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kFallback);
+  EXPECT_EQ(args.out, 2u);
+  EXPECT_EQ(backend->stats().steals.load(), 0u);
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, StealPreservesResultsUnderChurn) {
+  // Work stealing racing worker pause/resume churn: every call must still
+  // return its own result exactly once (the equivalence property), with
+  // path counters agreeing with the issue count.
+  auto* backend =
+      install(2, ShardPolicy::kLeastLoaded, 2, /*steal=*/true);
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      backend->set_active_workers(m % 3);  // 0, 1, 2 workers per shard
+      ++m;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> issued{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < 300; ++i) {
+          EchoArgs args;
+          args.in = static_cast<std::uint64_t>(t) * 10'000 + i;
+          enclave_->ocall(echo_id_, args);
+          issued.fetch_add(1);
+          if (args.out != args.in + 1) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(backend->stats().total_calls(), issued.load());
+  // Quiesced: no call is still counted as occupying a worker anywhere.
+  for (unsigned s = 0; s < backend->shard_count(); ++s) {
+    EXPECT_EQ(backend->shard(s).stats().in_flight.load(), 0u) << s;
+  }
+}
+
+TEST_F(ZcShardedTest, PolicyAndStealReachTheBackendFromTheSpecPlane) {
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;policy=least_loaded;steal=on;scheduler=off;"
+      "workers=1");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->config().policy, ShardPolicy::kLeastLoaded);
+  EXPECT_TRUE(backend->config().steal);
+  EXPECT_STREQ(to_string(backend->config().policy), "least_loaded");
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 2u);
 }
 
 TEST_F(ZcShardedTest, EcallDirectionServesTrustedFunctions) {

@@ -48,6 +48,14 @@ std::vector<std::string> all_backend_specs() {
   for (const auto& key : BackendRegistry::instance().keys()) {
     specs.push_back(equivalence_spec(key));
   }
+  // Load-aware variants beyond the per-key defaults: least_loaded routing
+  // with bounded stealing (1 worker per shard so steals actually happen)
+  // and the feedback-adapted flush window (short quantum so it re-decides
+  // mid-run).  Equivalence must hold however calls are routed or flushed.
+  specs.push_back(
+      "zc_sharded:shards=2;workers=1;scheduler=off;policy=least_loaded;"
+      "steal=on");
+  specs.push_back("zc_batched:workers=2;batch=2;flush=feedback;quantum_us=2000");
   return specs;
 }
 

@@ -6,6 +6,7 @@
 #include "apps/crypto/file_crypto.hpp"
 #include "apps/kissdb/kissdb.hpp"
 #include "apps/lmbench/lat_syscall.hpp"
+#include "core/backend_registry.hpp"
 #include "core/zc_async.hpp"
 #include "core/zc_backend.hpp"
 #include "sgx/sim_fs.hpp"
@@ -146,6 +147,48 @@ TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderSwitchlessWorkers) {
   SimFs::instance().fail_next_ops(1);
   key = 3;
   // The failure surfaces identically even though a worker ran the ocall.
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderStolenCalls) {
+  // One worker per shard: kissdb's ocalls are routinely stolen across
+  // shards, and an injected fault must surface at exactly the stolen call
+  // that drew it — never smear, never crash.
+  install_backend_spec(*enclave_,
+                       "zc_sharded:shards=2;workers=1;scheduler=off;"
+                       "policy=least_loaded;steal=on");
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderFeedbackFlushedBatches) {
+  // The failing op executes inside a worker's batch sweep while the
+  // feedback controller retunes the window: the error must still reach
+  // the right caller, and the store must recover once the fault clears.
+  install_backend_spec(
+      *enclave_,
+      "zc_batched:workers=1;batch=2;flush=feedback;quantum_us=2000");
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
   EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
   std::uint64_t out = 0;
   key = 1;

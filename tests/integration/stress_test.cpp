@@ -213,6 +213,59 @@ TEST_F(StressTest, ShardedCallerAffinityUnderPressure) {
   hammer(scaled_threads(16), scaled_calls(2'000));
 }
 
+TEST_F(StressTest, LeastLoadedShardedUnderPressure) {
+  // Load-aware routing with live per-shard schedulers: the in_flight
+  // gauges churn constantly while the selector reads them.
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;policy=least_loaded;quantum_us=2000");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, StealingShardedUnderPressure) {
+  // One worker per shard and more callers than workers: the steal probe
+  // runs on most calls, racing reservations on every shard at once.  The
+  // hammer's invariants (no lost/duplicated/corrupted call) are the
+  // equivalence property under maximal cross-shard traffic; quiesced
+  // in_flight gauges prove the steal path balances its bookkeeping.
+  ZcShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.steal = true;
+  cfg.policy = ShardPolicy::kLeastLoaded;
+  cfg.shard.scheduler_enabled = false;
+  cfg.shard.with_initial_workers(1);
+  auto backend = make_zc_sharded_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  for (unsigned s = 0; s < raw->shard_count(); ++s) {
+    EXPECT_EQ(raw->shard(s).stats().in_flight.load(), 0u) << s;
+  }
+}
+
+TEST_F(StressTest, StealingChurnWhileCallersRun) {
+  // Stealing racing pause/resume churn on every shard: a probe can land
+  // on a shard whose workers are pausing mid-drain.
+  ZcShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.steal = true;
+  cfg.shard.scheduler_enabled = false;
+  auto backend = make_zc_sharded_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->shard(0).max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
 TEST_F(StressTest, ShardedChurnWhileCallersRun) {
   // Manual all-shard worker churn (0..max per shard) racing live callers:
   // every transition between switchless and fallback paths is crossed on
@@ -250,6 +303,40 @@ TEST_F(StressTest, BatchedPauseResumeChurnWhileCallersRun) {
   cfg.workers = 2;
   cfg.batch = 2;
   cfg.flush = 50us;
+  auto backend = make_zc_batched_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
+TEST_F(StressTest, FeedbackFlushBatchedUnderPressure) {
+  // The adaptive flush window re-decided every 2ms while callers hammer
+  // the buffers: window changes must never lose, duplicate or corrupt a
+  // call, under full batches and partial timer flushes alike.
+  install_backend_spec(
+      *enclave_,
+      "zc_batched:workers=2;batch=4;flush=feedback;quantum_us=2000");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, FeedbackFlushPauseResumeChurnWhileCallersRun) {
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  cfg.flush_policy = BatchFlushPolicy::kFeedback;
+  cfg.quantum = std::chrono::microseconds(1'000);
   auto backend = make_zc_batched_backend(*enclave_, cfg);
   auto* raw = backend.get();
   enclave_->set_backend(std::move(backend));
@@ -393,7 +480,15 @@ TEST_F(StressTest, BackendHotSwapBetweenBatches) {
     hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "zc_sharded:shards=2;quantum_us=2000");
     hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(
+        *enclave_,
+        "zc_sharded:shards=2;policy=least_loaded;steal=on;quantum_us=2000");
+    hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "zc_batched:workers=2;batch=2;flush_us=50");
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(
+        *enclave_,
+        "zc_batched:workers=2;batch=2;flush=feedback;quantum_us=2000");
     hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "zc_async:workers=2;queue=4");
     hammer(scaled_threads(4), scaled_calls(250));
