@@ -1,6 +1,8 @@
 // Micro-benchmarks (google-benchmark) for the raw call paths and the
 // marshalling/memcpy layers: regular ocall vs ZC switchless vs ZC fallback
 // vs Intel switchless, the batched caller's yield-vs-spin wait policies,
+// the CompletionGate blocked-caller policies head to head (BM_GatePolicy:
+// spin vs yield vs futex vs condvar; JSONL rows keyed lane=gate_policy),
 // and the two tlibc memcpy implementations.
 //
 // Additionally, every --backend=SPEC argument registers one dynamic
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "common/completion_gate.hpp"
 #include "common/cycles.hpp"
 #include "core/backend_registry.hpp"
 #include "core/zc_async.hpp"
@@ -59,6 +62,21 @@ struct SpecRow {
 };
 std::map<std::string, SpecRow>& spec_rows() {
   static std::map<std::string, SpecRow> rows;
+  return rows;
+}
+
+// --json rows of the BM_GatePolicy lane: blocked-caller wake latency per
+// CompletionGate policy (futex vs condvar vs spin head to head).
+struct GateRow {
+  std::string policy;
+  std::uint64_t iterations = 0;
+  double seconds = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t yields = 0;
+};
+std::map<std::string, GateRow>& gate_rows() {
+  static std::map<std::string, GateRow> rows;
   return rows;
 }
 unsigned g_pipeline = 1;
@@ -195,6 +213,71 @@ void BM_BatchedWaitPolicy(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_BatchedWaitPolicy)->Arg(0)->Arg(200);
+
+// The CompletionGate wait policies head to head on the cost this repo's
+// ISSUE cares about: the *blocked* caller — spin budget 0, so every wait
+// takes the policy's slow path.  A responder thread answers each request
+// through a second gate; one iteration is one full hand-off round trip
+// (publish request, block, be woken).  On a host with spare cores the
+// spin policy wins (no syscalls); on a saturated or 1-CPU host it burns
+// whole scheduler timeslices per hand-off, which is exactly the blocked-
+// caller cost futex/condvar avoid — and the futex gate wakes in one
+// syscall where the condvar pays the mutex handshake on top.
+void BM_GatePolicy(benchmark::State& state) {
+  const auto policy = static_cast<GateWaitPolicy>(state.range(0));
+  std::atomic<std::uint32_t> request{0};
+  std::atomic<std::uint32_t> response{0};
+  CompletionGate request_gate;
+  CompletionGate response_gate;
+  BackendStats stats;
+  const GateCounters counters{&stats.caller_yields, &stats.caller_sleeps,
+                              &stats.caller_wakeups};
+  constexpr std::uint32_t kStop = ~std::uint32_t{0};
+  std::jthread responder([&] {
+    std::uint32_t seq = 0;
+    for (;;) {
+      const std::uint32_t target = seq + 1;
+      // The responder yields while idle so the measured side is the only
+      // one whose wait policy varies.
+      request_gate.await(
+          request, [&](std::uint32_t v) { return v >= target; },
+          GateWaitPolicy::kYield, std::chrono::microseconds{0},
+          GateCounters{});
+      if (request.load(std::memory_order_seq_cst) == kStop) return;
+      seq = target;
+      response.store(seq, std::memory_order_seq_cst);
+      if (gate_can_sleep(policy)) response_gate.notify(response);
+    }
+  });
+  std::uint32_t seq = 0;
+  const std::uint64_t t0 = wall_ns();
+  for (auto _ : state) {
+    ++seq;
+    request.store(seq, std::memory_order_seq_cst);
+    response_gate.await(
+        response, [&](std::uint32_t v) { return v >= seq; }, policy,
+        std::chrono::microseconds{0}, counters);
+  }
+  const double seconds = static_cast<double>(wall_ns() - t0) * 1e-9;
+  request.store(kStop, std::memory_order_seq_cst);
+  state.SetLabel(std::string("wait=") + to_string(policy));
+  state.counters["sleeps_per_wake"] = benchmark::Counter(
+      static_cast<double>(stats.caller_sleeps.load()),
+      benchmark::Counter::kAvgIterations);
+  GateRow row;
+  row.policy = to_string(policy);
+  row.iterations = static_cast<std::uint64_t>(state.iterations());
+  row.seconds = seconds;
+  row.sleeps = stats.caller_sleeps.load();
+  row.wakeups = stats.caller_wakeups.load();
+  row.yields = stats.caller_yields.load();
+  gate_rows()[row.policy] = row;
+}
+BENCHMARK(BM_GatePolicy)
+    ->Arg(static_cast<int>(GateWaitPolicy::kSpin))
+    ->Arg(static_cast<int>(GateWaitPolicy::kYield))
+    ->Arg(static_cast<int>(GateWaitPolicy::kFutex))
+    ->Arg(static_cast<int>(GateWaitPolicy::kCondvar));
 
 // One call per iteration through an arbitrary registry spec; with a
 // pipeline depth D > 1 the spec's async plane keeps D calls in flight and
@@ -419,6 +502,24 @@ int main(int argc, char** argv) {
                  .set("switchless", row.switchless)
                  .set("fallbacks", row.fallbacks)
                  .set("steals", row.steals)
+                 .str()
+          << '\n';
+    }
+    for (const auto& [key, row] : gate_rows()) {
+      const double per_wake =
+          row.iterations > 0
+              ? row.seconds / static_cast<double>(row.iterations)
+              : 0.0;
+      out << zc::bench::JsonRow()
+                 .set("figure", "micro_callpath")
+                 .set("lane", "gate_policy")
+                 .set("policy", row.policy)
+                 .set("iterations", row.iterations)
+                 .set("seconds", row.seconds)
+                 .set("ns_per_wake", per_wake * 1e9)
+                 .set("sleeps", row.sleeps)
+                 .set("wakeups", row.wakeups)
+                 .set("yields", row.yields)
                  .str()
           << '\n';
     }

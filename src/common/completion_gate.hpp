@@ -1,0 +1,187 @@
+// CompletionGate: the one caller-wait primitive of the switchless planes.
+//
+// Every switchless backend ends with the same shape of wait: a caller has
+// handed its request to a worker (a reserved ZC worker buffer, a batch
+// slot, an async completion-table slot) and must now wait for a 32-bit
+// state word to reach a completion value.  Before this class existed that
+// wait was implemented three times (zc's wait_done, zc_batched's slot
+// poll, zc_async's per-slot condvar), each with its own spin budget and
+// sleep mechanism — which is why "futex waits on Linux hosts" stayed an
+// open ROADMAP item: there was no single place to put them.
+//
+// The gate runs the wait in two phases:
+//
+//   1. spin:  poll the word with `pause` for at most `spin` microseconds
+//             (clock read every 64 polls, so the budget check stays off
+//             the poll loop's critical path).  This is the paper's pure
+//             completion spin while the budget lasts; kSpin never leaves
+//             this phase (the hotcalls baseline).
+//   2. block: policy-dependent.
+//        kYield   — yield between polls (one BackendStats::caller_yields
+//                   per yield): the narrow-host default, unchanged from
+//                   the pre-gate backends.
+//        kFutex   — sleep in the kernel on the word itself
+//                   (FUTEX_WAIT_PRIVATE); one syscall to sleep, one
+//                   (by the waker) to wake.  Falls back to kCondvar on
+//                   non-Linux hosts behind the same API.
+//        kCondvar — sleep on the gate's mutex+condition_variable (the
+//                   portable fallback, and zc_async's historical wait).
+//             Sleeps/wakes are counted in BackendStats::caller_sleeps /
+//             caller_wakeups.
+//
+// Waker contract: update the state word first, then call notify(word).
+// notify() starts with a seq_cst fence so a release-ordered word store
+// still pairs with a sleeping waiter's seq_cst registration (the classic
+// store-buffer pairing), and it elides all syscalls/locks while nobody is
+// sleeping — with a non-sleeping policy the waker side can skip notify()
+// entirely (gate_can_sleep()).  Predicates are re-evaluated after every
+// wake-up, so spurious futex returns and condvar wake-ups are harmless.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+#include "common/cpu_meter.hpp"  // wall_ns
+#include "common/cycles.hpp"     // cpu_pause
+#include "common/stats.hpp"      // PaddedCounter
+
+namespace zc {
+
+enum class GateWaitPolicy : std::uint8_t {
+  kSpin,     ///< pure spin, never yields or sleeps (hotcalls-style)
+  kYield,    ///< spin budget, then yield between polls (the default)
+  kFutex,    ///< spin budget, then futex sleep (condvar off Linux)
+  kCondvar,  ///< spin budget, then mutex+condvar sleep
+};
+
+const char* to_string(GateWaitPolicy policy) noexcept;
+
+/// Parses "spin"/"yield"/"futex"/"condvar"; false on anything else.
+bool gate_policy_from_string(std::string_view text,
+                             GateWaitPolicy& out) noexcept;
+
+/// True for policies whose blocked waiters need a notify() to make
+/// progress; spinning/yielding waiters poll and never require one.
+constexpr bool gate_can_sleep(GateWaitPolicy policy) noexcept {
+  return policy == GateWaitPolicy::kFutex ||
+         policy == GateWaitPolicy::kCondvar;
+}
+
+/// Where the gate accounts its waiting: all pointers optional (benches and
+/// tests pass {}).  Backends wire these to their BackendStats counters.
+struct GateCounters {
+  PaddedCounter* yields = nullptr;   ///< one per yield in the kYield phase
+  PaddedCounter* sleeps = nullptr;   ///< one per wait that actually blocked
+  PaddedCounter* wakeups = nullptr;  ///< one per blocked wait that returned
+};
+
+class CompletionGate {
+ public:
+  CompletionGate() = default;
+  CompletionGate(const CompletionGate&) = delete;
+  CompletionGate& operator=(const CompletionGate&) = delete;
+
+  /// True when the kFutex policy really uses futexes on this platform
+  /// (otherwise it silently behaves as kCondvar).
+  static bool futex_available() noexcept;
+
+  /// Blocks until `pred(word.load())` holds.  T must be a 32-bit word
+  /// (the ZC-family state enums and plain uint32_t both qualify); the
+  /// futex sleeps on the word's own address, so no shadow state can drift.
+  template <typename T, typename Pred>
+  void await(const std::atomic<T>& word, Pred&& pred, GateWaitPolicy policy,
+             std::chrono::microseconds spin, const GateCounters& counters) {
+    static_assert(sizeof(std::atomic<T>) == sizeof(std::uint32_t),
+                  "CompletionGate waits on 32-bit state words");
+    if (pred(word.load(std::memory_order_acquire))) return;
+
+    if (policy == GateWaitPolicy::kSpin) {
+      while (!pred(word.load(std::memory_order_acquire))) cpu_pause();
+      return;
+    }
+
+    // Phase 1: bounded spin, identical across policies.
+    const std::uint64_t spin_ns =
+        static_cast<std::uint64_t>(spin.count()) * 1'000;
+    if (spin_ns > 0) {
+      const std::uint64_t t0 = wall_ns();
+      std::uint32_t polls = 0;
+      for (;;) {
+        cpu_pause();
+        if (pred(word.load(std::memory_order_acquire))) return;
+        if ((++polls & 0x3F) == 0 && wall_ns() - t0 >= spin_ns) break;
+      }
+    }
+
+    // Phase 2: the budget expired with the predicate still false.
+    if (policy == GateWaitPolicy::kYield) {
+      for (;;) {
+        if (counters.yields != nullptr) counters.yields->add();
+        std::this_thread::yield();
+        if (pred(word.load(std::memory_order_acquire))) return;
+      }
+    }
+
+    // caller_sleeps counts waits that *actually block* (reach the futex
+    // syscall / condvar wait), not every wait that merely entered this
+    // phase — a completion racing the phase transition stays uncounted.
+    bool slept = false;
+    if (policy == GateWaitPolicy::kFutex && futex_available()) {
+      // The seq_cst registration/load pair is the waiter's half of the
+      // store-buffer pairing with notify()'s fence (see class comment);
+      // futex_block itself re-checks the word in the kernel, so a wake
+      // between the load and the syscall is never lost.
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      for (;;) {
+        const T value = word.load(std::memory_order_seq_cst);
+        if (pred(value)) break;
+        if (!slept) {
+          slept = true;
+          if (counters.sleeps != nullptr) counters.sleeps->add();
+        }
+        futex_block(&word, static_cast<std::uint32_t>(value));
+      }
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
+      std::unique_lock lock(mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_.wait(lock, [&] {
+        if (pred(word.load(std::memory_order_seq_cst))) return true;
+        if (!slept) {
+          slept = true;
+          if (counters.sleeps != nullptr) counters.sleeps->add();
+        }
+        return false;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (slept && counters.wakeups != nullptr) counters.wakeups->add();
+  }
+
+  /// Waker side: call after storing the new word value.  No-ops (one fence
+  /// + one relaxed load) while nobody is sleeping.
+  template <typename T>
+  void notify(const std::atomic<T>& word) noexcept {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+    wake_sleepers(&word);
+  }
+
+ private:
+  /// One FUTEX_WAIT_PRIVATE on `addr` while it still reads `observed`.
+  static void futex_block(const void* addr, std::uint32_t observed) noexcept;
+  /// Broadcast: futex-wakes the word and notifies the condvar (a gate may
+  /// host either kind of sleeper; both paths are cheap when empty).
+  void wake_sleepers(const void* addr) noexcept;
+
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace zc

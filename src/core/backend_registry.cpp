@@ -6,6 +6,7 @@
 #include <chrono>
 #include <limits>
 
+#include "common/completion_gate.hpp"
 #include "core/zc_async.hpp"
 #include "core/zc_backend.hpp"
 #include "core/zc_batched.hpp"
@@ -68,6 +69,68 @@ std::string join(const std::vector<std::string>& parts, char sep) {
   return out;
 }
 
+// First ';' or ',' of `s` at parenthesis depth 0 (npos when none) — how a
+// nested `inner=(zc_batched:batch=8;flush=feedback)` value carries the
+// separators of a whole spec.  Throws on unbalanced parentheses.
+std::size_t find_separator(std::string_view s, std::string_view whole) {
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (depth == 0) {
+        throw BackendSpecError("spec '" + std::string(whole) +
+                               "': unbalanced ')'");
+      }
+      --depth;
+    } else if ((c == ';' || c == ',') && depth == 0) {
+      return i;
+    }
+  }
+  if (depth != 0) {
+    throw BackendSpecError("spec '" + std::string(whole) +
+                           "': unbalanced '(' (missing ')')");
+  }
+  return std::string_view::npos;
+}
+
+// Strips one level of parentheses off a value that starts with '(' — the
+// quoting mechanism for values containing separators.  The parentheses
+// must span the whole value; the payload must be non-empty.
+std::string_view unwrap_parens(std::string_view value, std::string_view name,
+                               std::string_view whole) {
+  int depth = 0;
+  std::size_t close = std::string_view::npos;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '(') {
+      ++depth;
+    } else if (value[i] == ')') {
+      if (--depth == 0) {
+        close = i;
+        break;
+      }
+    }
+  }
+  if (close == std::string_view::npos) {
+    throw BackendSpecError("spec '" + std::string(whole) +
+                           "': unbalanced '(' in option '" +
+                           std::string(name) + "'");
+  }
+  if (close != value.size() - 1) {
+    throw BackendSpecError("spec '" + std::string(whole) + "': option '" +
+                           std::string(name) +
+                           "' has text after the closing ')'");
+  }
+  const std::string_view inner = trim(value.substr(1, close - 1));
+  if (inner.empty()) {
+    throw BackendSpecError("spec '" + std::string(whole) + "': option '" +
+                           std::string(name) +
+                           "' has an empty parenthesised value");
+  }
+  return inner;
+}
+
 }  // namespace
 
 // --- BackendSpec -----------------------------------------------------------
@@ -93,7 +156,7 @@ BackendSpec BackendSpec::parse(std::string_view text) {
   }
   char prev_sep = ':';
   while (!rest.empty()) {
-    const std::size_t sep = rest.find_first_of(";,");
+    const std::size_t sep = find_separator(rest, whole);
     const std::string_view segment = trim(rest.substr(0, sep));
     const char next_sep = sep == std::string_view::npos ? '\0' : rest[sep];
     rest = sep == std::string_view::npos ? std::string_view{}
@@ -102,7 +165,19 @@ BackendSpec BackendSpec::parse(std::string_view text) {
       throw BackendSpecError("spec '" + std::string(whole) +
                              "': empty option segment");
     }
-    const std::size_t eq = segment.find('=');
+    // The name/value split, like the separator scan, ignores '=' inside
+    // parens — a parenthesised bare continuation may carry a whole spec.
+    std::size_t eq = std::string_view::npos;
+    for (std::size_t i = 0, depth = 0; i < segment.size(); ++i) {
+      if (segment[i] == '(') {
+        ++depth;
+      } else if (segment[i] == ')') {
+        --depth;
+      } else if (segment[i] == '=' && depth == 0) {
+        eq = i;
+        break;
+      }
+    }
     if (eq == std::string_view::npos) {
       // Bare value: extends the previous option's value list, which is how
       // `sl=read,write` carries a list through the ',' separator.  Only a
@@ -114,13 +189,20 @@ BackendSpec BackendSpec::parse(std::string_view text) {
             std::string(segment) +
             "' (expected name=value; only ',' continues a value list)");
       }
-      spec.options.back().values.emplace_back(segment);
+      // List continuations unwrap parens like named values do, so
+      // to_string()'s re-wrapping round-trips every value uniformly.
+      std::string_view continuation = segment;
+      if (continuation.front() == '(') {
+        continuation =
+            unwrap_parens(continuation, spec.options.back().name, whole);
+      }
+      spec.options.back().values.emplace_back(continuation);
       prev_sep = next_sep;
       continue;
     }
     prev_sep = next_sep;
     const std::string_view name = trim(segment.substr(0, eq));
-    const std::string_view value = trim(segment.substr(eq + 1));
+    std::string_view value = trim(segment.substr(eq + 1));
     if (!valid_ident(name)) {
       throw BackendSpecError("spec '" + std::string(whole) +
                              "': bad option name '" + std::string(name) + "'");
@@ -128,6 +210,11 @@ BackendSpec BackendSpec::parse(std::string_view text) {
     if (value.empty()) {
       throw BackendSpecError("spec '" + std::string(whole) + "': option '" +
                              std::string(name) + "' has an empty value");
+    }
+    if (value.front() == '(') {
+      // Parenthesised value: the payload may itself be a whole spec (the
+      // `inner=` composition mechanism) with separators and nested parens.
+      value = unwrap_parens(value, name, whole);
     }
     if (spec.find(name) != nullptr) {
       throw BackendSpecError("spec '" + std::string(whole) +
@@ -141,12 +228,21 @@ BackendSpec BackendSpec::parse(std::string_view text) {
 }
 
 std::string BackendSpec::to_string() const {
+  // Values carrying spec syntax (a nested inner= spec) are re-wrapped in
+  // parentheses so parse(to_string()) round-trips.
+  const auto quote = [](const std::string& v) {
+    return v.find_first_of(":;,=()") == std::string::npos ? v
+                                                          : "(" + v + ")";
+  };
   std::string out = key;
   for (std::size_t i = 0; i < options.size(); ++i) {
     out += i == 0 ? ':' : ';';
     out += options[i].name;
     out += '=';
-    out += join(options[i].values, ',');
+    for (std::size_t v = 0; v < options[i].values.size(); ++v) {
+      if (v > 0) out += ',';
+      out += quote(options[i].values[v]);
+    }
   }
   return out;
 }
@@ -238,6 +334,17 @@ CallDirection parse_direction(const BackendSpec& spec) {
   bad_value("direction", v, "ocall/ecall");
 }
 
+// Shared `wait=` parsing (the CompletionGate policy of the ZC family).
+GateWaitPolicy parse_wait(const BackendSpec& spec, GateWaitPolicy fallback) {
+  const std::string v = spec.get_string("wait", "");
+  if (v.empty()) return fallback;
+  GateWaitPolicy policy;
+  if (!gate_policy_from_string(v, policy)) {
+    bad_value("wait", v, "spin/yield/futex/condvar");
+  }
+  return policy;
+}
+
 std::unique_ptr<CallBackend> build_no_sl(Enclave& enclave,
                                          const BackendSpec& spec,
                                          CpuUsageMeter* /*meter*/) {
@@ -275,6 +382,9 @@ ZcConfig zc_config_from_spec(Enclave& enclave, const BackendSpec& spec,
   // immediately; a large budget restores the paper's pure spin).
   cfg.spin = std::chrono::microseconds(
       spec.get_u64("spin_us", static_cast<std::uint64_t>(cfg.spin.count())));
+  // What the caller does once the spin budget expires: the historical
+  // yield loop, a futex/condvar sleep, or hotcalls-style pure spinning.
+  cfg.wait = parse_wait(spec, cfg.wait);
   if (spec.has("workers")) {
     const unsigned w = spec.get_unsigned("workers", 0);
     cfg.with_initial_workers(w);
@@ -294,11 +404,28 @@ std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
                          zc_config_from_spec(enclave, spec, meter, "zc"));
 }
 
+// The `zc` worker-plane options, parsed by zc_config_from_spec.  One
+// table feeds three places so they cannot drift: the `zc` registry
+// entry, the `zc_sharded` entry (where they configure the default
+// inner=(zc) per shard), and the flat-vs-explicit-inner conflict check
+// in build_zc_sharded.
+constexpr const char* kZcWorkerPlaneOptions[] = {
+    "workers", "max_workers", "quantum_us", "mu",
+    "pool_bytes", "scheduler", "spin_us", "wait"};
+
+// Registry option list = the worker-plane table plus entry-specific names.
+std::vector<std::string> with_zc_worker_plane_options(
+    std::initializer_list<const char*> extra) {
+  std::vector<std::string> out;
+  for (const char* name : kZcWorkerPlaneOptions) out.emplace_back(name);
+  for (const char* name : extra) out.emplace_back(name);
+  return out;
+}
+
 std::unique_ptr<CallBackend> build_zc_sharded(Enclave& enclave,
                                               const BackendSpec& spec,
                                               CpuUsageMeter* meter) {
   ZcShardedConfig cfg;
-  cfg.shard = zc_config_from_spec(enclave, spec, meter, "zc_sharded");
   cfg.shards = spec.get_unsigned("shards", cfg.shards);
   if (cfg.shards == 0) {
     throw BackendSpecError("zc_sharded: shards must be > 0");
@@ -310,10 +437,74 @@ std::unique_ptr<CallBackend> build_zc_sharded(Enclave& enclave,
     cfg.policy = ShardPolicy::kCallerAffinity;
   } else if (policy == "least_loaded") {
     cfg.policy = ShardPolicy::kLeastLoaded;
+  } else if (policy == "affinity_load") {
+    cfg.policy = ShardPolicy::kAffinityLoad;
   } else {
-    bad_value("policy", policy, "round_robin/caller_affinity/least_loaded");
+    bad_value("policy", policy,
+              "round_robin/caller_affinity/least_loaded/affinity_load");
   }
-  cfg.steal = spec.get_bool("steal", cfg.steal);
+  if (spec.has("load_threshold")) {
+    if (cfg.policy != ShardPolicy::kAffinityLoad) {
+      throw BackendSpecError(
+          "zc_sharded: load_threshold is affinity_load's escape hatch; it "
+          "needs policy=affinity_load");
+    }
+    cfg.load_threshold = spec.get_u64("load_threshold", cfg.load_threshold);
+  }
+  // steal: the on/off spellings (on = the documented alias for scan-order
+  // victim selection), or an explicit victim policy.
+  const std::string steal = spec.get_string("steal", "off");
+  if (steal == "scan" || steal == "on" || steal == "true" || steal == "yes" ||
+      steal == "1") {
+    cfg.steal = ShardSteal::kScan;
+  } else if (steal == "max_load") {
+    cfg.steal = ShardSteal::kMaxLoad;
+  } else if (steal == "off" || steal == "false" || steal == "no" ||
+             steal == "0") {
+    cfg.steal = ShardSteal::kOff;
+  } else {
+    bad_value("steal", steal, "on/off/scan/max_load");
+  }
+  const CallDirection direction = parse_direction(spec);
+  cfg.direction = direction;
+  if (spec.has("inner")) {
+    // Composition: every shard is built from the nested spec through the
+    // registry itself, so any registered family becomes shardable.
+    for (const char* flat : kZcWorkerPlaneOptions) {
+      if (spec.has(flat)) {
+        throw BackendSpecError(
+            std::string("zc_sharded: option '") + flat +
+            "' configures the default inner=(zc); with an explicit inner= "
+            "spec it belongs inside the parentheses");
+      }
+    }
+    BackendSpec inner = BackendSpec::parse(spec.get_string("inner", ""));
+    if (inner.has("direction")) {
+      throw BackendSpecError(
+          "zc_sharded: direction belongs to the outer spec; the inner "
+          "backend inherits it");
+    }
+    if (direction == CallDirection::kEcall) {
+      inner.options.push_back({"direction", {"ecall"}});
+      try {
+        // The inner spec as written has already been validated; only the
+        // inherited direction can fail here.  Report that in the user's
+        // terms instead of blaming an option they never wrote.
+        BackendRegistry::instance().validate(inner.to_string());
+      } catch (const BackendSpecError&) {
+        throw BackendSpecError(
+            "zc_sharded: direction=ecall needs an inner family with a "
+            "trusted-worker plane; '" + inner.key +
+            "' does not take direction");
+      }
+    }
+    cfg.inner_key = inner.key;
+    cfg.make_shard = [inner, meter](Enclave& e) {
+      return BackendRegistry::instance().create(e, inner, meter);
+    };
+  } else {
+    cfg.shard = zc_config_from_spec(enclave, spec, meter, "zc_sharded");
+  }
   return make_zc_sharded_backend(enclave, std::move(cfg));
 }
 
@@ -381,6 +572,7 @@ std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
   // polls.  spin_us=0 is valid and means yield-immediately.
   cfg.spin = std::chrono::microseconds(
       spec.get_u64("spin_us", static_cast<std::uint64_t>(cfg.spin.count())));
+  cfg.wait = parse_wait(spec, cfg.wait);
   cfg.slot_pool_bytes = spec.get_u64("pool_bytes", cfg.slot_pool_bytes);
   if (cfg.slot_pool_bytes == 0) {
     throw BackendSpecError("zc_batched: pool_bytes must be > 0");
@@ -407,6 +599,12 @@ std::unique_ptr<CallBackend> build_zc_async(Enclave& enclave,
   cfg.slot_pool_bytes = spec.get_u64("pool_bytes", cfg.slot_pool_bytes);
   if (cfg.slot_pool_bytes == 0) {
     throw BackendSpecError("zc_async: pool_bytes must be > 0");
+  }
+  cfg.wait = parse_wait(spec, cfg.wait);
+  if (!gate_can_sleep(cfg.wait)) {
+    throw BackendSpecError(
+        "zc_async: wait must be futex or condvar — the async plane never "
+        "spins (that is its point)");
   }
   return make_zc_async_backend(enclave, std::move(cfg));
 }
@@ -505,28 +703,27 @@ BackendRegistry& BackendRegistry::instance() {
          {"workers", "frame_bytes"}, build_hotcalls});
     r->register_backend(
         {"zc", "ZC-Switchless: configless adaptive workers",
-         {"workers", "max_workers", "quantum_us", "mu", "pool_bytes",
-          "scheduler", "spin_us", "direction"},
-         build_zc});
+         with_zc_worker_plane_options({"direction"}), build_zc});
     r->register_backend(
         {"zc_sharded",
-         "ZC split into N independent worker shards (per-shard schedulers, "
-         "load-aware routing, optional stealing)",
-         {"shards", "policy", "steal", "workers", "max_workers", "quantum_us",
-          "mu", "pool_bytes", "scheduler", "spin_us", "direction"},
+         "switchless router over N independent shards (any inner= backend; "
+         "per-shard schedulers, load-aware routing, optional stealing)",
+         with_zc_worker_plane_options({"shards", "policy", "load_threshold",
+                                       "steal", "inner", "direction"}),
          build_zc_sharded});
     r->register_backend(
         {"zc_batched",
          "ZC with per-worker batch buffers flushed on batch=K, flush_us=T "
          "or the adaptive flush=feedback window",
          {"workers", "batch", "flush", "flush_us", "quantum_us", "spin_us",
-          "pool_bytes", "direction"},
+          "wait", "pool_bytes", "direction"},
          build_zc_batched});
     r->register_backend(
         {"zc_async",
-         "future-based ZC: submit()/wait() futures, condvar completion, "
-         "no caller spin",
-         {"workers", "queue", "pool_bytes", "direction"}, build_zc_async});
+         "future-based ZC: submit()/wait() futures, futex/condvar "
+         "completion, no caller spin",
+         {"workers", "queue", "pool_bytes", "wait", "direction"},
+         build_zc_async});
     return r;
   }();
   return *registry;
@@ -557,6 +754,26 @@ std::vector<std::string> BackendRegistry::keys() const {
   return out;
 }
 
+namespace {
+
+// Levels of explicit `inner=` nesting below `spec` (0 for a leaf).  Bounds
+// the composition lattice: depth 2 (a sharded-of-sharded over a leaf) is
+// the deepest spec the registry accepts.
+unsigned inner_depth(const BackendSpec& spec) {
+  const BackendSpec::Option* inner = spec.find("inner");
+  if (inner == nullptr) return 0;
+  if (inner->values.size() != 1) {
+    throw BackendSpecError(
+        "option 'inner' expects a single parenthesised spec, got a list of " +
+        std::to_string(inner->values.size()));
+  }
+  return 1 + inner_depth(BackendSpec::parse(inner->values.front()));
+}
+
+constexpr unsigned kMaxInnerDepth = 2;
+
+}  // namespace
+
 const BackendRegistry::Entry& BackendRegistry::entry_for(
     const BackendSpec& spec) const {
   for (const auto& entry : entries_) {
@@ -570,6 +787,21 @@ const BackendRegistry::Entry& BackendRegistry::entry_for(
               (entry.option_names.empty() ? "none"
                                           : join(entry.option_names, ',')) +
               ")");
+        }
+        if (opt.name == "inner") {
+          // A nested spec is validated like a top-level one (grammar, key,
+          // option names, its own inner=), so bad compositions fail at
+          // validate() time, not first at create().
+          if (inner_depth(spec) > kMaxInnerDepth) {
+            throw BackendSpecError(
+                "spec '" + spec.to_string() + "': inner= specs nest at most " +
+                std::to_string(kMaxInnerDepth) + " levels deep");
+          }
+          if (opt.values.size() != 1) {
+            throw BackendSpecError(
+                "option 'inner' expects a single parenthesised spec");
+          }
+          entry_for(BackendSpec::parse(opt.values.front()));
         }
       }
       return entry;
@@ -601,11 +833,15 @@ std::string BackendRegistry::help() const {
       "       \"intel:sl=read,write;workers=2;rbf=20000\",\n"
       "       \"hotcalls:workers=2\",\n"
       "       \"zc_sharded:shards=4;policy=least_loaded;steal=on\",\n"
+      "       \"zc_sharded:shards=2;inner=(zc_batched:batch=8)\",\n"
       "       \"zc_batched:workers=2;batch=8;flush_us=100;spin_us=0\",\n"
       "       \"zc_batched:workers=2;batch=8;flush=feedback\",\n"
       "       \"zc_async:workers=2;queue=16\"\n"
       "  direction=ecall installs the backend on the trusted-function\n"
-      "  (ecall) plane where supported.\n";
+      "  (ecall) plane where supported.  inner=(...) nests a whole spec:\n"
+      "  the sharded router builds every shard from it (2 levels max).\n"
+      "  wait= picks the blocked-caller policy (spin/yield/futex/condvar)\n"
+      "  once the spin_us budget expires.\n";
   for (const auto& entry : entries_) {
     out += "  " + entry.key + " — " + entry.summary + "\n";
     out += "      options: " +

@@ -13,6 +13,8 @@
 //   spec    := key [ ":" option { ( ";" | "," ) option } ]
 //   option  := name "=" value | value        // bare value extends the
 //                                            // previous option's list
+//   value   := "(" text ")" | text           // parens quote separators,
+//                                            // how inner= nests a spec
 //   key     := [a-z0-9_-]+
 //
 // Examples:
@@ -22,17 +24,24 @@
 //   "intel:sl=read,write;workers=2;rbf=20000"
 //   "hotcalls:workers=2"
 //   "zc_sharded:shards=4;policy=caller_affinity;workers=1"
+//   "zc_sharded:shards=4;inner=(zc_batched:batch=8;flush=feedback)"
 //   "zc_batched:workers=2;batch=8;flush_us=100;spin_us=0"
+//   "zc:wait=futex;spin_us=0"           (blocked callers futex-sleep)
 //   "zc_async:workers=2;queue=16"       (submit()/wait() futures, no spin)
 //   "zc:direction=ecall;workers=2"      (trusted workers serving ecalls)
 //
 // `sl=read,write` parses as one option with the value list {read, write}:
 // a comma-separated segment without '=' appends to the preceding option.
+// A parenthesised value keeps its ';'/','/':' intact — that is how
+// `zc_sharded:inner=(...)` carries a whole nested spec, which the sharded
+// builder feeds back through the registry to build each shard (two levels
+// of nesting at most; the parens round-trip through to_string()).
 //
 // Backends that can serve the trusted-function plane accept
 // `direction=ecall`; install_backend_spec() then installs them via
 // Enclave::set_ecall_backend instead of set_backend, making the call
-// direction a first-class spec dimension.
+// direction a first-class spec dimension.  A nested inner spec inherits
+// the outer direction and must not spell its own.
 #pragma once
 
 #include <cstdint>

@@ -73,27 +73,15 @@ void ZcWorker::submit(void* frame) noexcept {
 }
 
 void ZcWorker::wait_done() noexcept {
-  // Bounded spin, then yield (cfg.spin; see ZcConfig): identical to the
-  // paper's pure completion spin while the budget lasts — and the budget
-  // only expires when the host cannot run the worker concurrently, where
-  // yielding is what lets the worker finish at all.  The clock is read
-  // every 64 polls to keep the budget check off the critical path.
-  const std::uint64_t spin_ns =
-      static_cast<std::uint64_t>(cfg_.spin.count()) * 1'000;
-  const std::uint64_t spin_t0 = spin_ns > 0 ? wall_ns() : 0;
-  bool spinning = spin_ns > 0;
-  std::uint32_t polls = 0;
-  while (status_.load(std::memory_order_acquire) != WorkerState::kWaiting) {
-    if (spinning) {
-      cpu_pause();
-      if ((++polls & 0x3F) == 0 && wall_ns() - spin_t0 >= spin_ns) {
-        spinning = false;
-      }
-    } else {
-      stats_.caller_yields.add();
-      std::this_thread::yield();
-    }
-  }
+  // The gate runs the paper's pure completion spin while the budget lasts
+  // — the budget only expires when the host cannot run the worker
+  // concurrently, where yielding (or, under wait=futex/condvar, sleeping
+  // until the worker's notify) is what lets the worker finish at all.
+  done_gate_.await(
+      status_, [](WorkerState s) { return s == WorkerState::kWaiting; },
+      cfg_.wait, cfg_.spin,
+      GateCounters{&stats_.caller_yields, &stats_.caller_sleeps,
+                   &stats_.caller_wakeups});
 }
 
 void ZcWorker::release() noexcept {
@@ -138,6 +126,9 @@ void ZcWorker::main() {
       table.dispatch(header->fn_id, call);
       served_.fetch_add(1, std::memory_order_relaxed);
       status_.store(WorkerState::kWaiting, std::memory_order_release);
+      // Sleeping wait policies need the hand-off notify; the default
+      // yield/spin callers poll, so their hot path stays fence-free.
+      if (gate_can_sleep(cfg_.wait)) done_gate_.notify(status_);
       continue;
     }
 

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/completion_gate.hpp"
 #include "common/pool.hpp"
 #include "core/zc_config.hpp"
 #include "sgx/enclave.hpp"
@@ -73,7 +74,8 @@ class ZcWorker {
   /// Publishes the marshalled request and moves RESERVED -> PROCESSING.
   void submit(void* frame) noexcept;
 
-  /// Spins (with `pause`) until the worker reports WAITING.
+  /// Waits until the worker reports WAITING: spins for the configured
+  /// budget, then yields or sleeps per ZcConfig::wait (CompletionGate).
   void wait_done() noexcept;
 
   /// Returns the buffer to UNUSED after unmarshalling (WAITING -> UNUSED).
@@ -114,6 +116,7 @@ class ZcWorker {
   std::atomic<SchedCmd> cmd_{SchedCmd::kRun};
   void* request_ = nullptr;  ///< most recent request; ordered by status_
   BumpPool pool_;
+  CompletionGate done_gate_;  ///< the caller's hand-off wait on status_
 
   std::atomic<std::uint64_t> served_{0};
   std::mutex mu_;

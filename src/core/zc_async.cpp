@@ -126,19 +126,15 @@ CallFuture ZcAsyncBackend::inline_fallback(const CallDesc& desc) {
   return CallFuture(CallPath::kFallback);
 }
 
-CallFuture ZcAsyncBackend::submit(const CallDesc& desc) {
-  if (!running_.load(std::memory_order_relaxed)) {
-    execute_regular(desc);
-    stats_.regular_calls.add();
-    return CallFuture(CallPath::kRegular);
-  }
+bool ZcAsyncBackend::try_submit(const CallDesc& desc, FutureHandle& out) {
+  if (!running_.load(std::memory_order_relaxed)) return false;
 
   const unsigned m = active_count_.load(std::memory_order_acquire);
-  if (m == 0) return inline_fallback(desc);
+  if (m == 0) return false;
 
   // Claim a free completion-table slot, starting from a rotating index so
   // concurrent submitters spread across the table.  Table full: immediate
-  // inline fallback — backpressure without busy waiting, as in plain ZC.
+  // refusal — backpressure without busy waiting, as in plain ZC.
   Slot* slot = nullptr;
   std::uint32_t index = 0;
   const auto n = static_cast<std::uint32_t>(slots_.size());
@@ -154,22 +150,25 @@ CallFuture ZcAsyncBackend::submit(const CallDesc& desc) {
       break;
     }
   }
-  if (slot == nullptr) return inline_fallback(desc);
+  if (slot == nullptr) return false;
 
   slot->pool.reset();  // single-request pool: fresh for every claim
   void* mem = slot->pool.allocate(frame_bytes(desc), 64);
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.
     slot->state.store(SlotState::kFree, std::memory_order_release);
-    return inline_fallback(desc);
+    return false;
   }
 
+  // The gauge covers publish through release: occupied table slots are
+  // the per-layer load signal the sharded router's selectors read.
+  stats_.in_flight.add();
   marshal_into(mem, desc);
   slot->desc = desc;
   slot->frame = mem;
   slot->abandoned.store(false, std::memory_order_relaxed);
-  const FutureHandle handle{index,
-                            slot->generation.load(std::memory_order_relaxed)};
+  out = FutureHandle{index,
+                     slot->generation.load(std::memory_order_relaxed)};
   // seq_cst publish pairs with the workers' seq_cst park/sweep sequence:
   // either this submitter observes parked==true and wakes a worker, or a
   // worker's pre-sleep sweep observes this QUEUED slot.
@@ -187,12 +186,30 @@ CallFuture ZcAsyncBackend::submit(const CallDesc& desc) {
       execute_slot(*slot);
     }
   }
+  return true;
+}
+
+CallFuture ZcAsyncBackend::submit(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular(desc);
+    stats_.regular_calls.add();
+    return CallFuture(CallPath::kRegular);
+  }
+  FutureHandle handle;
+  if (!try_submit(desc, handle)) return inline_fallback(desc);
   return CallFuture(this, handle);
 }
 
 CallPath ZcAsyncBackend::invoke(const CallDesc& desc) {
   CallFuture future = submit(desc);
   return future.wait();
+}
+
+bool ZcAsyncBackend::try_invoke_switchless(const CallDesc& desc) {
+  FutureHandle handle;
+  if (!try_submit(desc, handle)) return false;
+  collect(handle);
+  return true;
 }
 
 bool ZcAsyncBackend::handle_completed(FutureHandle h) const noexcept {
@@ -212,6 +229,7 @@ bool ZcAsyncBackend::handle_completed(FutureHandle h) const noexcept {
 
 void ZcAsyncBackend::release_slot(Slot& slot) {
   slot.frame = nullptr;
+  stats_.in_flight.sub();
   // Clear the abandon mark with the occupancy it belonged to, so a stale
   // post-release read can only ever see `true` transiently (and the
   // generation checks below make even that harmless).
@@ -225,18 +243,14 @@ void ZcAsyncBackend::release_slot(Slot& slot) {
 CallPath ZcAsyncBackend::collect(FutureHandle h) {
   Slot& slot = *slots_[h.slot];
   // Short grace spin for calls that complete immediately, then sleep on
-  // the slot's condvar — the caller never busy-waits for a slow call.
-  for (unsigned spins = 0;
-       spins < 256 && slot.state.load(std::memory_order_acquire) != SlotState::kDone;
-       ++spins) {
-    cpu_pause();
-  }
-  if (slot.state.load(std::memory_order_acquire) != SlotState::kDone) {
-    std::unique_lock lock(slot.mu);
-    slot.cv.wait(lock, [&] {
-      return slot.state.load(std::memory_order_seq_cst) == SlotState::kDone;
-    });
-  }
+  // the slot's gate (condvar by default, futex with wait=futex) — the
+  // caller never busy-waits for a slow call.
+  constexpr std::chrono::microseconds kCollectGrace{1};
+  slot.gate.await(
+      slot.state, [](SlotState s) { return s == SlotState::kDone; },
+      cfg_.wait, kCollectGrace,
+      GateCounters{&stats_.caller_yields, &stats_.caller_sleeps,
+                   &stats_.caller_wakeups});
   MarshalledCall call = frame_view(slot.frame);
   unmarshal_from(call, slot.desc);
   release_slot(slot);
@@ -318,10 +332,7 @@ void ZcAsyncBackend::execute_slot(Slot& slot) {
     return;
   }
   slot.state.store(SlotState::kDone, std::memory_order_seq_cst);
-  {
-    std::lock_guard lock(slot.mu);
-  }
-  slot.cv.notify_all();
+  slot.gate.notify(slot.state);
   // Abandon may have raced the kDone publish; under the mutex the
   // generation check plus the CAS decide who releases.  If the abandoner
   // already released (generation moved — possibly with the slot reused by

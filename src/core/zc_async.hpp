@@ -5,8 +5,8 @@
 // call path into `submit()` — claim a slot in a fixed completion table,
 // marshal, publish, return a CallFuture — and `wait()`/`poll()` on that
 // future, with workers signalling completion through a per-slot seq_cst
-// state word plus a condition variable, so a waiting caller sleeps instead
-// of spinning.  That opens the pipelined workload class (D in-flight calls
+// state word plus a per-slot CompletionGate (condvar by default, futex
+// with `wait=futex`), so a waiting caller sleeps instead of spinning.  That opens the pipelined workload class (D in-flight calls
 // per caller) that no synchronous backend can express, while the plain
 // `CallBackend::call()` contract is preserved as submit()+wait(), so the
 // backend slots into the registry, `install_backend_spec`, the
@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/completion_gate.hpp"
 #include "common/cpu_meter.hpp"
 #include "common/pool.hpp"
 #include "sgx/enclave.hpp"
@@ -53,6 +54,11 @@ struct ZcAsyncConfig {
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular call.
   std::size_t slot_pool_bytes = 64 * 1024;
+  /// How wait() blocks once the short collect grace spin expires
+  /// (CompletionGate): condvar (the historical per-slot wait) or futex.
+  /// The async plane never busy-waits, so spin/yield are rejected at the
+  /// spec layer.
+  GateWaitPolicy wait = GateWaitPolicy::kCondvar;
   CpuUsageMeter* meter = nullptr;
   CallDirection direction = CallDirection::kOcall;
 };
@@ -144,6 +150,13 @@ class ZcAsyncBackend final : public CallBackend {
   /// keeps the backend registry/equivalence-suite compatible.
   CallPath invoke(const CallDesc& desc) override;
 
+  /// Claims a completion-table slot, publishes `desc` and waits for it;
+  /// false without side effects when the table is full, no worker is
+  /// active, or the frame exceeds the slot pool — the routing probe used
+  /// by the sharded router's steal path.  stats().in_flight is raised
+  /// while a call occupies a slot.
+  bool try_invoke_switchless(const CallDesc& desc) override;
+
   const char* name() const noexcept override {
     return cfg_.direction == CallDirection::kOcall ? "zc_async"
                                                    : "zc_async-ecall";
@@ -178,7 +191,7 @@ class ZcAsyncBackend final : public CallBackend {
 
   /// Pauses workers [m, max) and runs [0, m).  Paused workers still drain
   /// queued slots they are woken for, so no in-flight future is stranded.
-  void set_active_workers(unsigned m);
+  void set_active_workers(unsigned m) override;
 
   const ZcAsyncConfig& config() const noexcept { return cfg_; }
 
@@ -202,8 +215,8 @@ class ZcAsyncBackend final : public CallBackend {
     CallDesc desc;          ///< caller-side descriptor; ordered by `state`
     void* frame = nullptr;  ///< marshalled request; ordered by `state`
     BumpPool pool;
-    std::mutex mu;               ///< completion wait (with `cv`)
-    std::condition_variable cv;  ///< signalled on kDone
+    std::mutex mu;        ///< abandon/release serialisation
+    CompletionGate gate;  ///< the waiter's sleep on `state` (kDone)
   };
 
   enum class WorkerCmd : std::uint32_t { kRun = 0, kPause, kExit };
@@ -225,6 +238,9 @@ class ZcAsyncBackend final : public CallBackend {
   bool any_queued() const;
   void execute_regular(const CallDesc& desc);
   CallFuture inline_fallback(const CallDesc& desc);
+  /// Claim + publish without any fallback; false when the table/frame/
+  /// worker situation refuses the call (no side effects then).
+  bool try_submit(const CallDesc& desc, FutureHandle& out);
 
   // CallFuture plumbing.
   CallPath collect(FutureHandle h);

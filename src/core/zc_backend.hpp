@@ -32,11 +32,11 @@ class ZcBackend final : public CallBackend {
   /// runs `desc` through it and returns true, or returns false without
   /// side effects when nothing is idle (or the frame exceeds the pool).
   /// Never executes the regular fallback — the caller decides what a
-  /// refusal means (plain invoke() falls back; the sharded backend's
+  /// refusal means (plain invoke() falls back; the sharded router's
   /// steal path probes another shard first).  While the call is in
   /// flight, stats().in_flight is raised — the load signal the sharded
-  /// least_loaded selector reads.
-  bool try_invoke_switchless(const CallDesc& desc);
+  /// load-aware selectors read.
+  bool try_invoke_switchless(const CallDesc& desc) override;
   const char* name() const noexcept override {
     return cfg_.direction == CallDirection::kOcall ? "zc" : "zc-ecall";
   }
@@ -50,7 +50,7 @@ class ZcBackend final : public CallBackend {
   }
 
   /// Manually applies a worker count (tests / scheduler-off ablations).
-  void set_active_workers(unsigned m);
+  void set_active_workers(unsigned m) override;
 
   const ZcConfig& config() const noexcept { return cfg_; }
 

@@ -147,19 +147,16 @@ CallPath ZcBatchedBackend::fallback(const CallDesc& desc) {
   return CallPath::kFallback;
 }
 
-CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
-  if (!running_.load(std::memory_order_relaxed)) {
-    execute_regular(desc);
-    stats_.regular_calls.add();
-    return CallPath::kRegular;
-  }
+bool ZcBatchedBackend::try_invoke_switchless(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) return false;
 
   const unsigned m = active_count_.load(std::memory_order_acquire);
-  if (m == 0) return fallback(desc);
+  if (m == 0) return false;
 
   // Claim a free slot on an active worker, starting from a rotating index
   // so concurrent callers spread across buffers.  No free slot anywhere:
-  // immediate fallback, as in plain ZC (§IV-C).
+  // immediate refusal, as in plain ZC (§IV-C) — the caller decides what a
+  // refusal means (invoke() falls back; a steal probe tries elsewhere).
   Slot* slot = nullptr;
   Worker* worker = nullptr;
   const unsigned first = ticket_.fetch_add(1, std::memory_order_relaxed);
@@ -176,16 +173,19 @@ CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
       }
     }
   }
-  if (slot == nullptr) return fallback(desc);
+  if (slot == nullptr) return false;
 
   slot->pool.reset();  // single-request pool: fresh for every claim
   void* mem = slot->pool.allocate(frame_bytes(desc), 64);
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.
     slot->state.store(SlotState::kEmpty, std::memory_order_release);
-    return fallback(desc);
+    return false;
   }
 
+  // The gauge covers publish through collection: the per-layer load
+  // signal the sharded router's load-aware selectors read.
+  stats_.in_flight.add();
   MarshalledCall call = marshal_into(mem, desc);
   slot->frame = mem;
   slot->publish_ns.store(wall_ns(), std::memory_order_relaxed);
@@ -196,32 +196,31 @@ CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
   slot->state.store(SlotState::kPending, std::memory_order_seq_cst);
   if (worker->parked.load(std::memory_order_seq_cst)) wake(*worker);
 
-  // Bounded spin, then yield: a batching caller is by definition willing
-  // to wait out the flush window, so once the spin budget (`spin_us=`)
-  // expires it donates its quantum instead of starving the worker on
-  // narrow hosts.  spin_us=0 yields between every poll.  The clock is
-  // only read every 64 pauses so the budget check stays off the poll
-  // loop's critical path.
-  const std::uint64_t spin_ns =
-      static_cast<std::uint64_t>(cfg_.spin.count()) * 1'000;
-  const std::uint64_t spin_t0 = spin_ns > 0 ? wall_ns() : 0;
-  bool spinning = spin_ns > 0;
-  std::uint32_t polls = 0;
-  while (slot->state.load(std::memory_order_acquire) != SlotState::kDone) {
-    if (spinning) {
-      cpu_pause();
-      if ((++polls & 0x3F) == 0 && wall_ns() - spin_t0 >= spin_ns) {
-        spinning = false;
-      }
-    } else {
-      stats_.caller_yields.add();
-      std::this_thread::yield();
-    }
-  }
+  // A batching caller is by definition willing to wait out the flush
+  // window, so once the spin budget (`spin_us=`) expires it donates its
+  // quantum (wait=yield, the default) or sleeps until the flushing
+  // worker's notify (wait=futex/condvar) instead of starving the worker
+  // on narrow hosts.  spin_us=0 leaves the spin phase immediately.
+  slot->gate.await(
+      slot->state, [](SlotState s) { return s == SlotState::kDone; },
+      cfg_.wait, cfg_.spin,
+      GateCounters{&stats_.caller_yields, &stats_.caller_sleeps,
+                   &stats_.caller_wakeups});
   unmarshal_from(call, desc);
   slot->state.store(SlotState::kEmpty, std::memory_order_release);
+  stats_.in_flight.sub();
   stats_.switchless_calls.add();
-  return CallPath::kSwitchless;
+  return true;
+}
+
+CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    execute_regular(desc);
+    stats_.regular_calls.add();
+    return CallPath::kRegular;
+  }
+  if (try_invoke_switchless(desc)) return CallPath::kSwitchless;
+  return fallback(desc);
 }
 
 void ZcBatchedBackend::flush(Worker& w) {
@@ -236,6 +235,9 @@ void ZcBatchedBackend::flush(Worker& w) {
     MarshalledCall call = frame_view(s->frame);
     table.dispatch(header->fn_id, call);
     s->state.store(SlotState::kDone, std::memory_order_release);
+    // Sleeping wait policies need the per-slot notify; yield/spin callers
+    // poll, so the default flush path stays fence-free.
+    if (gate_can_sleep(cfg_.wait)) s->gate.notify(s->state);
   }
   stats_.batch_flushes.add();
 }

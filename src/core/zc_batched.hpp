@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/completion_gate.hpp"
 #include "common/cpu_meter.hpp"
 #include "common/pool.hpp"
 #include "sgx/enclave.hpp"
@@ -75,6 +76,10 @@ struct ZcBatchedConfig {
   /// politeness); a large budget approximates hotcalls-style pure spinning.
   /// Every yield bumps BackendStats::caller_yields.
   std::chrono::microseconds spin{50};
+  /// What a caller does after the spin budget (CompletionGate): the
+  /// default keeps the yield loop; futex/condvar sleep on the slot's state
+  /// word until the flushing worker notifies (caller_sleeps/caller_wakeups).
+  GateWaitPolicy wait = GateWaitPolicy::kYield;
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular ocall.
   std::size_t slot_pool_bytes = 64 * 1024;
@@ -90,6 +95,12 @@ class ZcBatchedBackend final : public CallBackend {
   void start() override;
   void stop() override;
   CallPath invoke(const CallDesc& desc) override;
+  /// Claims a slot on an active worker, publishes `desc` and waits for the
+  /// flush that serves it; false without side effects when no slot is free
+  /// (or the frame exceeds the slot pool).  The routing probe used by the
+  /// sharded router's steal path; stats().in_flight is raised while the
+  /// call occupies a slot.
+  bool try_invoke_switchless(const CallDesc& desc) override;
   const char* name() const noexcept override {
     return cfg_.direction == CallDirection::kOcall ? "zc_batched"
                                                    : "zc_batched-ecall";
@@ -105,7 +116,7 @@ class ZcBatchedBackend final : public CallBackend {
 
   /// Pauses workers [m, max) and runs [0, m); callers only claim slots on
   /// active workers.  Pausing workers drain published requests first.
-  void set_active_workers(unsigned m);
+  void set_active_workers(unsigned m) override;
 
   /// Buffer flushes so far (== stats().batch_flushes); the mean batch size
   /// is switchless_calls / batch_flushes.
@@ -141,6 +152,7 @@ class ZcBatchedBackend final : public CallBackend {
     std::atomic<std::uint64_t> publish_ns{0};  ///< flush-timer anchor
     void* frame = nullptr;  ///< marshalled request; ordered by `state`
     BumpPool pool;
+    CompletionGate gate;  ///< the publisher's wait for its slot's kDone
   };
 
   enum class WorkerCmd : std::uint32_t { kRun = 0, kPause, kExit };

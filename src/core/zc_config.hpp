@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstddef>
 
+#include "common/completion_gate.hpp"
 #include "common/cpu_meter.hpp"
 #include "sgx/backend.hpp"
 
@@ -43,6 +44,13 @@ struct ZcConfig {
   /// narrower hosts an unbounded spin burns whole scheduler timeslices
   /// per hand-off (the same pragmatism as ZcBatchedConfig::spin).
   std::chrono::microseconds spin{50};
+
+  /// What the caller does once the spin budget expires (CompletionGate):
+  /// kYield keeps the historical spin-then-yield loop; kFutex/kCondvar put
+  /// the blocked caller to sleep until the worker publishes completion
+  /// (counted in BackendStats::caller_sleeps/caller_wakeups); kSpin never
+  /// stops spinning (the hotcalls-style ablation baseline).
+  GateWaitPolicy wait = GateWaitPolicy::kYield;
 
   /// Disable the feedback scheduler and keep `initial workers` forever
   /// (ablation: isolates the call path from the adaptation policy).

@@ -1,16 +1,22 @@
-// Sharded ZC-Switchless call backend.
+// Sharded switchless call router.
 //
 // The plain ZcBackend keeps one flat worker array: every caller scans the
 // same cache lines (worker status words) from index 0, so under many
 // concurrent callers the low-indexed workers become a contention point —
 // the single-queue bottleneck of the paper's design at scale.  The sharded
-// backend splits the worker pool into N independent shards, each a complete
-// ZcBackend with its own workers, request pools and feedback scheduler.  A
-// caller is routed to exactly one shard per call; the handoff path
-// (reservation CAS, request buffer, completion spin) touches only that
-// shard's cache lines, and shards never synchronise with each other.  The
-// only shared write per call is the lifetime stats() counter block — the
-// same cost every backend pays.
+// backend splits capacity into N independent shards and routes each call
+// to exactly one of them; the handoff path (reservation, request buffer,
+// completion wait) touches only that shard's cache lines, and shards never
+// synchronise with each other.  The only shared write per call is the
+// lifetime stats() counter block — the same cost every backend pays.
+//
+// Since PR 5 the router is *generic*: a shard is any CallBackend, built by
+// a factory, so the same routing/stealing policies compose over plain ZC
+// workers (the default, byte-for-byte the old behaviour), batched buffers
+// or the async completion table.  The spec plane spells composition as a
+// nested spec — `zc_sharded:shards=4;inner=(zc_batched:batch=8)` — and the
+// router's probe (CallBackend::try_invoke_switchless) plus the per-shard
+// stats().in_flight gauge are the whole inner-backend contract.
 //
 // Shard selection policies:
 //  - round_robin: a relaxed atomic ticket spreads calls evenly.  Best when
@@ -19,28 +25,38 @@
 //    thread's requests always hit the same workers (warm pools, no
 //    cross-shard cache-line bouncing).  Best when callers are long-lived.
 //  - least_loaded: routes to the shard with the fewest calls currently
-//    occupying its workers (each shard's stats().in_flight gauge, one
+//    occupying its capacity (each shard's stats().in_flight gauge, one
 //    relaxed load per shard).  Count-blind policies route onto shards
 //    whose workers are tied up in long calls; this one follows *observed*
-//    load, the same principle the feedback scheduler applies to worker
-//    counts.  Ties go to the lowest index, so an idle backend routes
+//    load.  Ties go to the lowest index, so an idle backend routes
 //    deterministically.
+//  - affinity_load: caller_affinity with a load escape hatch — the call
+//    stays on its home shard while the home's in_flight gauge is at most
+//    `load_threshold`, and reroutes to the least-loaded shard only beyond
+//    it.  Warm-pool locality by default, load-awareness under pressure.
 //
-// By default a call routed to a shard with no idle worker falls back to a
+// By default a call routed to a shard with no capacity falls back to a
 // regular ocall immediately — the paper's §IV-C no-busy-wait property is
-// preserved per shard, and shards stay strictly isolated.  With steal=on
-// the caller instead probes the remaining shards once (bounded, no
-// retries, no spinning) and runs on the first idle worker it finds —
-// cross-shard work stealing as a measurable ablation against the
-// strict-isolation design: it trades the cross-shard cache-line scan this
-// backend exists to eliminate for fewer fallback transitions under skewed
-// load.  Stolen calls are counted in stats().steals; a call that finds no
-// idle worker anywhere still falls back through its primary shard, so the
-// primary's feedback scheduler observes the unmet demand.
+// preserved per shard, and shards stay strictly isolated.  With stealing
+// enabled the caller instead probes the remaining shards once (bounded, no
+// retries, no spinning) and runs on the first one that accepts — a
+// measurable ablation against strict isolation.  Victim selection:
+//  - steal=on (alias: scan): probe in scan order from the primary.
+//  - steal=max_load: probe the busiest (max in_flight) shard first, the
+//    remainder in scan order.  The busiest shard provably has awake
+//    workers right now; an idle-looking shard's workers may all be
+//    parked by its feedback scheduler, where a probe fails anyway
+//    (§IV-C: no waiting for capacity).
+// Stolen calls are counted in stats().steals; a call that no shard accepts
+// still falls back through its *primary* shard, so the primary's feedback
+// scheduler observes the unmet demand.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/zc_backend.hpp"
@@ -51,19 +67,39 @@ enum class ShardPolicy : std::uint8_t {
   kRoundRobin,      ///< relaxed atomic ticket, even spread
   kCallerAffinity,  ///< hash of the calling thread id, stable routing
   kLeastLoaded,     ///< fewest in-flight calls right now (load-aware)
+  kAffinityLoad,    ///< affinity until the home shard exceeds the threshold
+};
+
+enum class ShardSteal : std::uint8_t {
+  kOff,      ///< strict isolation: refusal means immediate fallback
+  kScan,     ///< probe the other shards once, in scan order
+  kMaxLoad,  ///< probe the other shards once, busiest (max in_flight) first
 };
 
 const char* to_string(ShardPolicy policy) noexcept;
+const char* to_string(ShardSteal steal) noexcept;
 
 struct ZcShardedConfig {
-  unsigned shards = 2;  ///< independent worker shards (> 0)
+  unsigned shards = 2;  ///< independent shards (> 0)
   ShardPolicy policy = ShardPolicy::kRoundRobin;
-  /// Bounded cross-shard work stealing: a call whose primary shard has no
-  /// idle worker probes the other shards once before falling back.
-  bool steal = false;
-  /// Per-shard worker-pool configuration (worker counts, quantum, pools,
-  /// scheduler and direction all apply to each shard independently).
+  ShardSteal steal = ShardSteal::kOff;
+  /// affinity_load's escape hatch: route away from the home shard only
+  /// when its in_flight gauge exceeds this.
+  std::uint64_t load_threshold = 0;
+  /// Boundary direction of the composed plane (for name()); with the
+  /// default inner this is derived from `shard.direction`.
+  CallDirection direction = CallDirection::kOcall;
+  /// Per-shard configuration of the *default* inner=(zc) backend (worker
+  /// counts, quantum, pools, scheduler and direction all apply to each
+  /// shard independently).  Ignored when `make_shard` is set.
   ZcConfig shard;
+  /// Builds one shard.  Unset = one ZcBackend per shard from `shard`
+  /// (exactly the pre-composition behaviour); the registry wires nested
+  /// `inner=(...)` specs through here.
+  std::function<std::unique_ptr<CallBackend>(Enclave&)> make_shard;
+  /// Registry key of the inner family ("zc", "zc_batched", ...), used for
+  /// the composed name().
+  std::string inner_key = "zc";
 };
 
 class ZcShardedBackend final : public CallBackend {
@@ -74,37 +110,60 @@ class ZcShardedBackend final : public CallBackend {
   void start() override;
   void stop() override;
   CallPath invoke(const CallDesc& desc) override;
-  const char* name() const noexcept override {
-    return cfg_.shard.direction == CallDirection::kOcall ? "zc_sharded"
-                                                         : "zc_sharded-ecall";
-  }
+  /// The router's own capacity probe, so a router can itself be an inner
+  /// shard of another router (depth-2 composition): routes to the
+  /// selected shard's probe, steals per the configured policy, never
+  /// falls back.  The router also maintains its own stats().in_flight
+  /// gauge across every in-flight call — the load signal an *outer*
+  /// router's selectors read.  Unlike a leaf's gauge it includes calls
+  /// that end up falling back (the router cannot know the path up front,
+  /// and a fallback still occupies the routed shard's attention).
+  bool try_invoke_switchless(const CallDesc& desc) override;
+  /// "zc_sharded" for the default inner, "zc_sharded[<inner>]" for a
+  /// composed plane, with "-ecall" appended on the trusted direction.
+  const char* name() const noexcept override { return name_.c_str(); }
 
   /// Sum of the shards' currently active worker counts.
   unsigned active_workers() const noexcept override;
+
+  /// Rolled-up view: the per-shard layers merged (so an inner zc_batched's
+  /// batch_flushes surface here) plus the router-only counters (steals).
+  /// The call-path counters come from the shards — each call is counted
+  /// once by the shard that served it, never double-counted with the
+  /// router's own live mirror.
+  BackendStatsSnapshot stats_snapshot() const override;
 
   unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }
 
-  /// Direct access to one shard (diagnostics, churn tests).
-  ZcBackend& shard(unsigned i) noexcept { return *shards_[i]; }
-  const ZcBackend& shard(unsigned i) const noexcept { return *shards_[i]; }
+  /// Direct access to one shard layer (diagnostics, churn tests,
+  /// per-layer stats via shard(i).stats_snapshot()).
+  CallBackend& shard(unsigned i) noexcept { return *shards_[i]; }
+  const CallBackend& shard(unsigned i) const noexcept { return *shards_[i]; }
 
   /// Applies `m` active workers to every shard (scheduler-off ablations).
-  void set_active_workers(unsigned m);
+  void set_active_workers(unsigned m) override;
 
-  /// Lifetime calls served per shard (sums each shard's workers).
+  /// Lifetime switchless calls served per shard.
   std::vector<std::uint64_t> per_shard_served() const;
 
   const ZcShardedConfig& config() const noexcept { return cfg_; }
 
  private:
   unsigned select_shard() noexcept;
+  unsigned least_loaded_shard() const noexcept;
+  bool try_route_switchless(unsigned primary, const CallDesc& desc);
   CallPath record(CallPath path) noexcept;
 
   Enclave& enclave_;
   ZcShardedConfig cfg_;
-  std::vector<std::unique_ptr<ZcBackend>> shards_;
+  std::string name_;
+  /// Steal probes are skipped outright for frames no shard could take
+  /// (known for the default inner=(zc): the per-shard pool size; no such
+  /// bound exists for a generic inner, whose probes refuse cheaply).
+  std::size_t steal_probe_max_bytes_ = ~std::size_t{0};
+  std::vector<std::unique_ptr<CallBackend>> shards_;
   std::atomic<unsigned> ticket_{0};
 };
 

@@ -24,4 +24,38 @@ const char* to_string(CallDirection direction) noexcept {
   return "?";
 }
 
+BackendStatsSnapshot BackendStats::snapshot() const noexcept {
+  BackendStatsSnapshot s;
+  s.regular_calls = regular_calls.load();
+  s.switchless_calls = switchless_calls.load();
+  s.fallback_calls = fallback_calls.load();
+  s.pool_resets = pool_resets.load();
+  s.worker_sleeps = worker_sleeps.load();
+  s.worker_wakeups = worker_wakeups.load();
+  s.batch_flushes = batch_flushes.load();
+  s.caller_yields = caller_yields.load();
+  s.caller_sleeps = caller_sleeps.load();
+  s.caller_wakeups = caller_wakeups.load();
+  s.steals = steals.load();
+  s.in_flight = in_flight.load();
+  return s;
+}
+
+BackendStatsSnapshot& BackendStatsSnapshot::merge(
+    const BackendStatsSnapshot& other) noexcept {
+  regular_calls += other.regular_calls;
+  switchless_calls += other.switchless_calls;
+  fallback_calls += other.fallback_calls;
+  pool_resets += other.pool_resets;
+  worker_sleeps += other.worker_sleeps;
+  worker_wakeups += other.worker_wakeups;
+  batch_flushes += other.batch_flushes;
+  caller_yields += other.caller_yields;
+  caller_sleeps += other.caller_sleeps;
+  caller_wakeups += other.caller_wakeups;
+  steals += other.steals;
+  in_flight += other.in_flight;
+  return *this;
+}
+
 }  // namespace zc

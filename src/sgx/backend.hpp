@@ -34,6 +34,8 @@ enum class CallPath : std::uint8_t {
 const char* to_string(CallPath path) noexcept;
 const char* to_string(CallDirection direction) noexcept;
 
+struct BackendStatsSnapshot;
+
 /// Counters shared by all backends (padded; updated from many threads).
 struct BackendStats {
   PaddedCounter regular_calls;     ///< calls that took the regular path
@@ -45,17 +47,49 @@ struct BackendStats {
   PaddedCounter batch_flushes;     ///< batched-backend buffer flushes
   PaddedCounter caller_yields;     ///< yields by callers whose spin expired
                                    ///< (one per yield, not one per call)
+  PaddedCounter caller_sleeps;     ///< blocked callers that went to sleep
+                                   ///< (CompletionGate futex/condvar wait)
+  PaddedCounter caller_wakeups;    ///< sleeping callers woken by a worker
   PaddedCounter steals;            ///< calls served by a non-primary shard
                                    ///< (sharded backend, steal=on)
   /// Calls currently occupying one of this backend's workers (claimed
   /// through collected).  This is the cheap per-shard load signal the
-  /// sharded backend's least_loaded selector reads: a level, not a total.
+  /// sharded backend's load-aware selectors read: a level, not a total.
   PaddedGauge in_flight;
 
   std::uint64_t total_calls() const noexcept {
     return regular_calls.load() + switchless_calls.load() +
            fallback_calls.load();
   }
+
+  /// Point-in-time copy of every counter (plain integers, mergeable).
+  BackendStatsSnapshot snapshot() const noexcept;
+};
+
+/// A plain-integer copy of BackendStats, taken at one instant.  Composed
+/// backends merge the snapshots of their layers into one rolled-up view
+/// (e.g. a sharded router sums its shards and adds its own router-only
+/// counters), while each layer's own snapshot stays available per shard.
+struct BackendStatsSnapshot {
+  std::uint64_t regular_calls = 0;
+  std::uint64_t switchless_calls = 0;
+  std::uint64_t fallback_calls = 0;
+  std::uint64_t pool_resets = 0;
+  std::uint64_t worker_sleeps = 0;
+  std::uint64_t worker_wakeups = 0;
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t caller_yields = 0;
+  std::uint64_t caller_sleeps = 0;
+  std::uint64_t caller_wakeups = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t in_flight = 0;
+
+  std::uint64_t total_calls() const noexcept {
+    return regular_calls + switchless_calls + fallback_calls;
+  }
+
+  /// Field-wise sum; returns *this for chaining.
+  BackendStatsSnapshot& merge(const BackendStatsSnapshot& other) noexcept;
 };
 
 class CallBackend {
@@ -73,6 +107,19 @@ class CallBackend {
   /// unmarshalled back into trusted memory.
   virtual CallPath invoke(const CallDesc& desc) = 0;
 
+  /// The switchless half of invoke(): runs `desc` on a worker and returns
+  /// true, or returns false *without side effects* when the backend has no
+  /// capacity right now (no idle worker/slot, oversized frame, stopped).
+  /// Never executes a regular fallback — the caller decides what a refusal
+  /// means.  Routing layers (the sharded router's steal probe) use this to
+  /// try a backend without committing to its fallback path; the default
+  /// refuses, so composition over a backend without the hook degrades to
+  /// plain invoke() routing.
+  virtual bool try_invoke_switchless(const CallDesc& desc) {
+    (void)desc;
+    return false;
+  }
+
   virtual const char* name() const noexcept = 0;
 
   /// Lifetime counters.  Live: callers may cache the reference and read
@@ -80,8 +127,19 @@ class CallBackend {
   /// calls complete (not lazily on read).
   const BackendStats& stats() const noexcept { return stats_; }
 
+  /// Point-in-time counter copy.  Plain backends snapshot stats();
+  /// composed backends (the sharded router) roll the layers up so e.g. a
+  /// zc_batched inner's batch_flushes surface at the top.
+  virtual BackendStatsSnapshot stats_snapshot() const {
+    return stats_.snapshot();
+  }
+
   /// Number of workers currently allowed to serve calls (0 for regular).
   virtual unsigned active_workers() const noexcept { return 0; }
+
+  /// Applies a worker count (tests / scheduler-off ablations).  No-op for
+  /// workerless backends; composed backends forward to every layer.
+  virtual void set_active_workers(unsigned m) { (void)m; }
 
  protected:
   BackendStats stats_;

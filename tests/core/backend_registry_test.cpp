@@ -42,7 +42,9 @@ TEST(BackendSpecTest, ToStringRoundTrips) {
   for (const char* text :
        {"no_sl", "zc:workers=4,quantum_us=10000",
         "intel:sl=read,write;workers=2;rbf=20000", "hotcalls:workers=2",
-        "zc:scheduler=off,mu=0.01"}) {
+        "zc:scheduler=off,mu=0.01",
+        "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=4)",
+        "zc_sharded:shards=2;inner=(zc_sharded:shards=2;inner=(zc))"}) {
     const auto spec = BackendSpec::parse(text);
     const std::string canon = spec.to_string();
     const auto again = BackendSpec::parse(canon);
@@ -87,6 +89,43 @@ TEST(BackendSpecTest, TypedAccessorsRejectBadValues) {
   EXPECT_THROW(spec.get_bool("flag", true), BackendSpecError);
   const auto list = BackendSpec::parse("intel:sl=a,b");
   EXPECT_THROW(list.get_string("sl", ""), BackendSpecError);  // not scalar
+}
+
+TEST(BackendSpecTest, ParenthesisedValuesCarryNestedSpecs) {
+  // A '('-quoted value keeps its separators: the inner= composition
+  // mechanism at the grammar level (the registry interprets it later).
+  const auto spec = BackendSpec::parse(
+      "zc_sharded:shards=4;inner=(zc_batched:batch=8;flush=feedback)");
+  EXPECT_EQ(spec.get_unsigned("shards", 0), 4u);
+  EXPECT_EQ(spec.get_string("inner", ""), "zc_batched:batch=8;flush=feedback");
+  // Nested parens stay balanced inside the payload.
+  const auto nested = BackendSpec::parse(
+      "zc_sharded:inner=(zc_sharded:shards=2;inner=(zc:workers=1))");
+  EXPECT_EQ(nested.get_string("inner", ""),
+            "zc_sharded:shards=2;inner=(zc:workers=1)");
+  // Whitespace around the payload is trimmed like any other value.
+  EXPECT_EQ(BackendSpec::parse("zc_sharded:inner=( zc )").get_string("inner",
+                                                                     ""),
+            "zc");
+  // A ','-joined list continuation unwraps parens exactly like a named
+  // value, so to_string()'s re-wrapping round-trips list values too.
+  const auto list = BackendSpec::parse("intel:sl=(read),(write;x=1)");
+  EXPECT_EQ(list.get_list("sl"),
+            (std::vector<std::string>{"read", "write;x=1"}));
+  EXPECT_EQ(BackendSpec::parse(list.to_string()).get_list("sl"),
+            list.get_list("sl"));
+}
+
+TEST(BackendSpecTest, UnbalancedParensAreRejected) {
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=(zc"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=zc)"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=((zc)"),
+               BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=(zc)x"),
+               BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=()"), BackendSpecError);
+  EXPECT_THROW(BackendSpec::parse("zc_sharded:inner=(zc));shards=2"),
+               BackendSpecError);
 }
 
 TEST(BackendSpecTest, BoolSpellings) {
@@ -296,6 +335,115 @@ TEST_F(BackendRegistryTest, BatchedSpinBudgetIsValidated) {
   ASSERT_NE(yielder, nullptr);
   EXPECT_EQ(dynamic_cast<ZcBatchedBackend*>(yielder.get())
                 ->config().spin.count(), 0);
+}
+
+TEST_F(BackendRegistryTest, NestedInnerSpecsAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  // Happy paths: any registered family composes as the inner backend.
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:shards=2;inner=(zc)"),
+            nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_,
+                "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=4)"),
+            nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_,
+                "zc_sharded:shards=2;inner=(zc_async:workers=1;queue=8)"),
+            nullptr);
+  // validate() checks the nested spec without an enclave, recursively.
+  registry.validate("zc_sharded:inner=(zc_batched:batch=8;flush=feedback)");
+  EXPECT_THROW(registry.validate("zc_sharded:inner=(warp_drive)"),
+               BackendSpecError);
+  EXPECT_THROW(registry.validate("zc_sharded:inner=(zc:rbf=7)"),
+               BackendSpecError);
+  // inner= belongs to the sharded router only.
+  EXPECT_THROW(registry.validate("zc:inner=(no_sl)"), BackendSpecError);
+  EXPECT_THROW(registry.validate("zc_batched:inner=(zc)"), BackendSpecError);
+  EXPECT_THROW(registry.validate("zc_async:inner=(zc)"), BackendSpecError);
+  // Composition nests at most two levels.
+  registry.validate("zc_sharded:inner=(zc_sharded:inner=(zc))");
+  EXPECT_THROW(
+      registry.validate(
+          "zc_sharded:inner=(zc_sharded:inner=(zc_sharded:inner=(zc)))"),
+      BackendSpecError);
+  // The inner spec inherits the outer direction and must not spell its
+  // own; flat per-shard zc options conflict with an explicit inner=.
+  EXPECT_THROW(
+      registry.create(*enclave_, "zc_sharded:inner=(zc:direction=ecall)"),
+      BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:inner=(zc);workers=2"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:inner=(zc);spin_us=10"),
+               BackendSpecError);
+  // An ecall composition over an inner family without a trusted-worker
+  // plane is rejected in the user's terms (not by blaming the inherited
+  // direction option they never wrote).
+  try {
+    registry.create(*enclave_,
+                    "zc_sharded:direction=ecall;inner=(hotcalls:workers=2)");
+    FAIL() << "ecall composition over hotcalls should be rejected";
+  } catch (const BackendSpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("trusted-worker plane"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BackendRegistryTest, AffinityLoadOptionsAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:policy=affinity_load"),
+            nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_,
+                "zc_sharded:policy=affinity_load;load_threshold=4;shards=2"),
+            nullptr);
+  // load_threshold without the policy it gates is a conflict, not a
+  // silently ignored knob.
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:load_threshold=4"),
+               BackendSpecError);
+  EXPECT_THROW(
+      registry.create(*enclave_,
+                      "zc_sharded:policy=least_loaded;load_threshold=4"),
+      BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:load_threshold=abc;"
+                                          "policy=affinity_load"),
+               BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, StealVictimPoliciesAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  // steal=on stays the documented alias for scan-order victim selection.
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:steal=on"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:steal=scan"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:steal=max_load"), nullptr);
+  EXPECT_THROW(registry.create(*enclave_, "zc_sharded:steal=banana"),
+               BackendSpecError);
+}
+
+TEST_F(BackendRegistryTest, GateWaitPoliciesAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  // The ZC family takes wait= (the CompletionGate policy after spin_us).
+  EXPECT_NE(registry.create(*enclave_, "zc:wait=futex"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc:wait=condvar;spin_us=0"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc:wait=spin"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc:wait=yield"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:wait=futex"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:wait=futex;spin_us=0"),
+            nullptr);
+  EXPECT_THROW(registry.create(*enclave_, "zc:wait=banana"),
+               BackendSpecError);
+  // The async plane never spins: only the sleeping policies make sense.
+  EXPECT_NE(registry.create(*enclave_, "zc_async:wait=futex"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_async:wait=condvar"), nullptr);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:wait=yield"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "zc_async:wait=spin"),
+               BackendSpecError);
+  // wait= is a ZC-family option; the fixed-policy baselines reject it.
+  EXPECT_THROW(registry.create(*enclave_, "hotcalls:wait=futex"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "no_sl:wait=futex"),
+               BackendSpecError);
 }
 
 TEST_F(BackendRegistryTest, AsyncValueErrorsAreTyped) {

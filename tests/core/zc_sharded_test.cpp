@@ -1,6 +1,8 @@
-// Sharded ZC backend: shard routing policies (incl. load-aware
-// least_loaded), bounded cross-shard stealing, per-shard isolation,
-// fallback behaviour and the trusted-worker (ecall) direction.
+// Sharded switchless router: shard routing policies (incl. load-aware
+// least_loaded and affinity_load), bounded cross-shard stealing (scan and
+// max_load victim selection), per-shard isolation, fallback behaviour,
+// generic inner-backend composition (nested `inner=` specs) and the
+// trusted-worker (ecall) direction.
 #include "core/zc_sharded.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +13,8 @@
 #include <vector>
 
 #include "core/backend_registry.hpp"
+#include "core/zc_async.hpp"
+#include "core/zc_batched.hpp"
 
 namespace zc {
 namespace {
@@ -33,7 +37,7 @@ class ZcShardedTest : public ::testing::Test {
           a->out = a->in + 1;
         });
     gate_id_ = enclave_->ocalls().register_fn("gate", [this](MarshalledCall&) {
-      gate_entered_.store(true, std::memory_order_release);
+      gate_entered_.fetch_add(1, std::memory_order_acq_rel);
       while (!gate_open_.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -42,11 +46,14 @@ class ZcShardedTest : public ::testing::Test {
 
   // Installs a scheduler-off sharded backend and returns the raw pointer.
   ZcShardedBackend* install(unsigned shards, ShardPolicy policy,
-                            unsigned workers_per_shard, bool steal = false) {
+                            unsigned workers_per_shard,
+                            ShardSteal steal = ShardSteal::kOff,
+                            std::uint64_t load_threshold = 0) {
     ZcShardedConfig cfg;
     cfg.shards = shards;
     cfg.policy = policy;
     cfg.steal = steal;
+    cfg.load_threshold = load_threshold;
     cfg.shard.scheduler_enabled = false;
     cfg.shard.with_initial_workers(workers_per_shard);
     auto backend = make_zc_sharded_backend(*enclave_, cfg);
@@ -58,8 +65,10 @@ class ZcShardedTest : public ::testing::Test {
   // Occupies one worker of `shard` with a gate call issued directly at
   // that shard (bypassing routing), and returns once the worker is inside
   // the handler — i.e. once the shard's in_flight gauge reflects the
-  // stall.  release_stall() lets the gate call finish.
+  // stall.  Stackable (each stall pins one more worker); release_stall()
+  // lets every gate call finish.
   std::jthread stall_shard(ZcShardedBackend& backend, unsigned shard) {
+    const unsigned target = ++stalls_issued_;
     std::jthread holder([this, &backend, shard] {
       EchoArgs args;
       CallDesc desc;
@@ -68,7 +77,7 @@ class ZcShardedTest : public ::testing::Test {
       desc.args_size = sizeof(args);
       backend.shard(shard).invoke(desc);
     });
-    while (!gate_entered_.load(std::memory_order_acquire)) {
+    while (gate_entered_.load(std::memory_order_acquire) < target) {
       std::this_thread::yield();
     }
     return holder;
@@ -79,8 +88,9 @@ class ZcShardedTest : public ::testing::Test {
   std::unique_ptr<Enclave> enclave_;
   std::uint32_t echo_id_ = 0;
   std::uint32_t gate_id_ = 0;
-  std::atomic<bool> gate_entered_{false};
+  std::atomic<unsigned> gate_entered_{0};
   std::atomic<bool> gate_open_{false};
+  unsigned stalls_issued_ = 0;
 };
 
 TEST_F(ZcShardedTest, RoundRobinSpreadsCallsAcrossShards) {
@@ -194,11 +204,60 @@ TEST_F(ZcShardedTest, LeastLoadedRoutesAwayFromAStalledShard) {
   EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 0u);
 }
 
+TEST_F(ZcShardedTest, AffinityLoadStaysHomeWithinTheThreshold) {
+  auto* backend = install(2, ShardPolicy::kAffinityLoad, 1,
+                          ShardSteal::kOff, /*load_threshold=*/5);
+  // Discover this thread's home shard with one call.
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  const auto first = backend->per_shard_served();
+  const unsigned home = first[0] == 1 ? 0 : 1;
+
+  // Stall the home shard: in_flight = 1 <= threshold 5, so affinity holds
+  // and the call (finding the only worker busy) must *fall back*, not
+  // reroute — the threshold really gates the escape hatch.
+  std::jthread holder = stall_shard(*backend, home);
+  args.in = 2;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kFallback);
+  EXPECT_EQ(args.out, 3u);
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[1 - home], 0u);
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, AffinityLoadRoutesAwayBeyondTheThreshold) {
+  auto* backend = install(2, ShardPolicy::kAffinityLoad, 1,
+                          ShardSteal::kOff, /*load_threshold=*/0);
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  const auto first = backend->per_shard_served();
+  const unsigned home = first[0] == 1 ? 0 : 1;
+
+  // threshold=0: any in-flight call on the home shard trips the escape
+  // hatch, so every call routes to the (least-loaded) other shard and
+  // stays switchless — warm-pool affinity with a load guarantee.
+  std::jthread holder = stall_shard(*backend, home);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[1 - home], 50u);
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 0u);
+  release_stall();
+  holder.join();
+}
+
 TEST_F(ZcShardedTest, StealServesFromANonPrimaryShard) {
   // Round-robin tickets start at shard 0, whose only worker is stalled:
   // with steal=on the first call must be served by shard 1's idle worker
   // instead of falling back.
-  auto* backend = install(2, ShardPolicy::kRoundRobin, 1, /*steal=*/true);
+  auto* backend =
+      install(2, ShardPolicy::kRoundRobin, 1, ShardSteal::kScan);
   std::jthread holder = stall_shard(*backend, 0);
 
   EchoArgs args;
@@ -212,11 +271,42 @@ TEST_F(ZcShardedTest, StealServesFromANonPrimaryShard) {
   holder.join();
 }
 
+TEST_F(ZcShardedTest, MaxLoadStealPicksTheBusiestVictim) {
+  // Shard 0 (the round-robin primary) is fully stalled; shard 2 is busy
+  // (in_flight 1 of 2 workers) and shard 1 idle.  Scan order would probe
+  // shard 1 first; steal=max_load must probe the *busiest* other shard
+  // first — the one whose workers are provably awake — so the call is
+  // served by shard 2.
+  auto* backend =
+      install(3, ShardPolicy::kRoundRobin, 2, ShardSteal::kMaxLoad);
+  std::jthread s0a = stall_shard(*backend, 0);
+  std::jthread s0b = stall_shard(*backend, 0);
+  std::jthread s2 = stall_shard(*backend, 2);
+  EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 2u);
+  EXPECT_EQ(backend->shard(2).stats().in_flight.load(), 1u);
+
+  const auto before = backend->per_shard_served();
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 8u);
+  EXPECT_EQ(backend->stats().steals.load(), 1u);
+  const auto after = backend->per_shard_served();
+  EXPECT_EQ(after[2] - before[2], 1u);  // busiest victim served the steal
+  EXPECT_EQ(after[1] - before[1], 0u);  // the idle shard was not probed first
+
+  release_stall();
+  s0a.join();
+  s0b.join();
+  s2.join();
+}
+
 TEST_F(ZcShardedTest, StealOffPreservesStrictIsolation) {
   // Identical situation without steal=on: the call routed to the stalled
   // shard falls back immediately (§IV-C per shard) and never probes the
   // idle neighbour.
-  auto* backend = install(2, ShardPolicy::kRoundRobin, 1, /*steal=*/false);
+  auto* backend =
+      install(2, ShardPolicy::kRoundRobin, 1, ShardSteal::kOff);
   std::jthread holder = stall_shard(*backend, 0);
 
   EchoArgs args;
@@ -232,7 +322,8 @@ TEST_F(ZcShardedTest, StealOffPreservesStrictIsolation) {
 }
 
 TEST_F(ZcShardedTest, StealFallsBackWhenNoShardIsIdle) {
-  auto* backend = install(1, ShardPolicy::kRoundRobin, 1, /*steal=*/true);
+  auto* backend =
+      install(1, ShardPolicy::kRoundRobin, 1, ShardSteal::kScan);
   std::jthread holder = stall_shard(*backend, 0);
   EchoArgs args;
   args.in = 1;
@@ -243,12 +334,30 @@ TEST_F(ZcShardedTest, StealFallsBackWhenNoShardIsIdle) {
   holder.join();
 }
 
+TEST_F(ZcShardedTest, MaxLoadStealOnOneShardNeverProbesThePrimaryTwice) {
+  // A one-shard router has no victims: the refused call must fall back
+  // without re-probing the primary as its own "busiest victim" (and
+  // without ever reporting a cross-shard steal).
+  auto* backend =
+      install(1, ShardPolicy::kRoundRobin, 1, ShardSteal::kMaxLoad);
+  std::jthread holder = stall_shard(*backend, 0);
+  for (int i = 0; i < 20; ++i) {
+    EchoArgs args;
+    args.in = 1;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kFallback);
+    EXPECT_EQ(args.out, 2u);
+  }
+  EXPECT_EQ(backend->stats().steals.load(), 0u);
+  release_stall();
+  holder.join();
+}
+
 TEST_F(ZcShardedTest, StealPreservesResultsUnderChurn) {
   // Work stealing racing worker pause/resume churn: every call must still
   // return its own result exactly once (the equivalence property), with
   // path counters agreeing with the issue count.
   auto* backend =
-      install(2, ShardPolicy::kLeastLoaded, 2, /*steal=*/true);
+      install(2, ShardPolicy::kLeastLoaded, 2, ShardSteal::kScan);
   std::atomic<bool> stop{false};
   std::jthread churner([&] {
     unsigned m = 0;
@@ -293,8 +402,25 @@ TEST_F(ZcShardedTest, PolicyAndStealReachTheBackendFromTheSpecPlane) {
   auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
   ASSERT_NE(backend, nullptr);
   EXPECT_EQ(backend->config().policy, ShardPolicy::kLeastLoaded);
-  EXPECT_TRUE(backend->config().steal);
+  EXPECT_EQ(backend->config().steal, ShardSteal::kScan);
   EXPECT_STREQ(to_string(backend->config().policy), "least_loaded");
+  EXPECT_STREQ(to_string(backend->config().steal), "scan");
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 2u);
+}
+
+TEST_F(ZcShardedTest, AffinityLoadAndMaxLoadReachTheBackendFromTheSpecPlane) {
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;policy=affinity_load;load_threshold=3;"
+      "steal=max_load;scheduler=off;workers=1");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->config().policy, ShardPolicy::kAffinityLoad);
+  EXPECT_EQ(backend->config().load_threshold, 3u);
+  EXPECT_EQ(backend->config().steal, ShardSteal::kMaxLoad);
   EchoArgs args;
   args.in = 1;
   EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
@@ -336,9 +462,195 @@ TEST_F(ZcShardedTest, PerShardSchedulersRunIndependently) {
     ASSERT_EQ(args.out, i + 1);
   }
   // Both shards own a live scheduler instance.
-  EXPECT_NE(raw->shard(0).scheduler(), nullptr);
-  EXPECT_NE(raw->shard(1).scheduler(), nullptr);
+  EXPECT_NE(dynamic_cast<ZcBackend&>(raw->shard(0)).scheduler(), nullptr);
+  EXPECT_NE(dynamic_cast<ZcBackend&>(raw->shard(1)).scheduler(), nullptr);
   EXPECT_EQ(raw->stats().total_calls(), 500u);
+}
+
+// --- Composition: nested inner= backends ------------------------------------
+
+TEST_F(ZcShardedTest, ComposedBatchedInnerServesSwitchlessly) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=1)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "zc_sharded[zc_batched]");
+  ASSERT_NE(dynamic_cast<ZcBatchedBackend*>(&backend->shard(0)), nullptr);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  // Round-robin routing spreads over the batched shards like any other.
+  const auto served = backend->per_shard_served();
+  EXPECT_EQ(served[0], 100u);
+  EXPECT_EQ(served[1], 100u);
+}
+
+TEST_F(ZcShardedTest, ComposedAsyncInnerServesSwitchlessly) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;inner=(zc_async:workers=1;queue=4)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "zc_sharded[zc_async]");
+  ASSERT_NE(dynamic_cast<ZcAsyncBackend*>(&backend->shard(0)), nullptr);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  EXPECT_EQ(backend->stats().switchless_calls.load(), 100u);
+}
+
+TEST_F(ZcShardedTest, ComposedEcallPlaneInheritsTheOuterDirection) {
+  const auto square_id =
+      enclave_->ecalls().register_fn("square", [](MarshalledCall& call) {
+        auto* a = static_cast<EchoArgs*>(call.args);
+        a->out = a->in * a->in;
+      });
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:direction=ecall;shards=2;inner=(zc_batched:workers=1;"
+      "batch=2)");
+  EXPECT_STREQ(enclave_->ecall_backend().name(), "zc_sharded[zc_batched]-ecall");
+  EchoArgs args;
+  args.in = 9;
+  EXPECT_EQ(enclave_->ecall_fn(square_id, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 81u);
+  EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
+  enclave_->set_ecall_backend(nullptr);
+}
+
+TEST_F(ZcShardedTest, ComposedStealServesThroughTheInnerProbe) {
+  // Batched inner shards with a single slot each: stall shard 0's buffer
+  // and the steal probe must serve the call from shard 1's batched buffer
+  // through the generic try_invoke_switchless seam.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;steal=on;inner=(zc_batched:workers=1;batch=1)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  std::jthread holder = stall_shard(*backend, 0);
+
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 8u);
+  EXPECT_EQ(backend->stats().steals.load(), 1u);
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, SnapshotRollsUpComposedLayers) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=1)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    enclave_->ocall(echo_id_, args);
+  }
+  // The rolled-up snapshot agrees with the router's live mirror on call
+  // counts and surfaces the inner layer's batch_flushes.
+  const BackendStatsSnapshot rolled = backend->stats_snapshot();
+  EXPECT_EQ(rolled.switchless_calls,
+            backend->stats().switchless_calls.load());
+  EXPECT_EQ(rolled.total_calls(), 100u);
+  EXPECT_GT(rolled.batch_flushes, 0u);
+  EXPECT_EQ(rolled.in_flight, 0u);
+  // Per-layer views stay accessible: the shard snapshots partition the
+  // rolled-up counters.
+  const BackendStatsSnapshot s0 = backend->shard(0).stats_snapshot();
+  const BackendStatsSnapshot s1 = backend->shard(1).stats_snapshot();
+  EXPECT_EQ(s0.switchless_calls + s1.switchless_calls,
+            rolled.switchless_calls);
+  EXPECT_EQ(s0.batch_flushes + s1.batch_flushes, rolled.batch_flushes);
+}
+
+TEST_F(ZcShardedTest, ComposedSpecRoundTripsThroughTheRegistry) {
+  const std::string canon =
+      "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=4)";
+  const BackendSpec spec = BackendSpec::parse(canon);
+  EXPECT_EQ(spec.to_string(), canon);
+  const BackendSpec again = BackendSpec::parse(spec.to_string());
+  EXPECT_EQ(again.to_string(), canon);
+  EXPECT_EQ(again.get_string("inner", ""), "zc_batched:workers=1;batch=4");
+  BackendRegistry::instance().validate(canon);
+  auto backend = BackendRegistry::instance().create(*enclave_, canon);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "zc_sharded[zc_batched]");
+}
+
+TEST_F(ZcShardedTest, DepthTwoLoadAwareRoutingSeesInnerRouterGauges) {
+  // A router shard maintains its own in_flight gauge and capacity probe,
+  // so an *outer* least_loaded router over two inner routers routes away
+  // from the one whose (single) leaf worker is stalled — the contract
+  // that keeps load-aware policies meaningful at depth 2.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;policy=least_loaded;"
+      "inner=(zc_sharded:shards=1;workers=1;scheduler=off)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  std::jthread holder = stall_shard(*backend, 0);
+  EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 1u);
+
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  EXPECT_EQ(backend->shard(1).stats().switchless_calls.load(), 50u);
+  EXPECT_EQ(backend->stats().fallback_calls.load(), 0u);
+  release_stall();
+  holder.join();
+  EXPECT_EQ(backend->shard(0).stats().in_flight.load(), 0u);
+}
+
+TEST_F(ZcShardedTest, DepthTwoStealProbesThroughTheInnerRouter) {
+  // The outer steal probe lands on an inner *router*, whose own
+  // try_invoke_switchless must forward to its leaf — a steal across two
+  // routing layers.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;steal=on;"
+      "inner=(zc_sharded:shards=1;workers=1;scheduler=off)");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  std::jthread holder = stall_shard(*backend, 0);
+
+  EchoArgs args;
+  args.in = 7;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 8u);
+  EXPECT_EQ(backend->stats().steals.load(), 1u);
+  EXPECT_EQ(backend->shard(1).stats().switchless_calls.load(), 1u);
+  release_stall();
+  holder.join();
+}
+
+TEST_F(ZcShardedTest, DepthTwoCompositionRoutesEndToEnd) {
+  // A sharded-of-sharded lattice over batched leaves: the deepest spec the
+  // registry accepts, exercised end to end.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;inner=(zc_sharded:shards=2;"
+      "inner=(zc_batched:workers=1;batch=2))");
+  auto* backend = dynamic_cast<ZcShardedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "zc_sharded[zc_sharded]");
+  EXPECT_STREQ(backend->shard(0).name(), "zc_sharded[zc_batched]");
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EchoArgs args;
+    args.in = i;
+    EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+    EXPECT_EQ(args.out, i + 1);
+  }
+  EXPECT_EQ(backend->stats_snapshot().switchless_calls, 100u);
 }
 
 }  // namespace

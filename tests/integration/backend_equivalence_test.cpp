@@ -56,8 +56,29 @@ std::vector<std::string> all_backend_specs() {
       "zc_sharded:shards=2;workers=1;scheduler=off;policy=least_loaded;"
       "steal=on");
   specs.push_back("zc_batched:workers=2;batch=2;flush=feedback;quantum_us=2000");
+  // Composed planes (nested inner= specs): the router over batched and
+  // async shards, and the affinity_load/max_load routing additions.
+  // However the lattice routes, batches or queues, results must be
+  // identical.
+  specs.push_back("zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=4)");
+  specs.push_back("zc_sharded:shards=2;inner=(zc_async:workers=1;queue=8)");
+  specs.push_back(
+      "zc_sharded:shards=2;workers=1;scheduler=off;policy=affinity_load;"
+      "load_threshold=1;steal=max_load");
+  // Sleeping blocked-caller gates (futex with condvar fallback off Linux):
+  // the wait policy may change who sleeps, never what calls compute.
+  specs.push_back("zc:scheduler=off;workers=2;spin_us=0;wait=futex");
   return specs;
 }
+
+// Composed ecall-plane specs checked on top of the per-key ecall variants
+// (the trusted-worker twins of the composed ocall specs above).
+const char* kComposedEcallSpecs[] = {
+    "zc_sharded:direction=ecall;shards=2;inner=(zc_batched:workers=1;"
+    "batch=4)",
+    "zc_sharded:direction=ecall;shards=2;inner=(zc_async:workers=1;"
+    "queue=8)",
+};
 
 // The ecall-plane twin of equivalence_spec(); empty string = the backend
 // has no trusted-worker mode (it is skipped, and the coverage test pins
@@ -308,6 +329,15 @@ TEST(BackendDifferentialTest, RandomizedEcallWorkloadIsIdenticalEverywhere) {
   }
   // Only hotcalls is exempt from the trusted-worker plane.
   EXPECT_EQ(skipped, 1u);
+  // Composed planes serve trusted functions identically too.
+  for (const char* spec : kComposedEcallSpecs) {
+    const DifferentialOutcome got = run_differential(spec, threads, calls);
+    EXPECT_EQ(got.digest, ref.digest) << spec;
+    EXPECT_EQ(got.handler_calls, ref.handler_calls)
+        << spec << ": lost or duplicated calls";
+    EXPECT_EQ(got.backend_calls, got.issued)
+        << spec << ": backend counters disagree with issued calls";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -196,6 +196,64 @@ TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderFeedbackFlushedBatches) {
   EXPECT_EQ(out, 2u);
 }
 
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderComposedBatchedShards) {
+  // A composed plane (batched buffers inside a stealing router): the
+  // injected fault executes inside some shard's batch sweep, possibly on a
+  // stolen call, and must still surface at exactly the caller that drew it.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;steal=on;"
+      "inner=(zc_batched:workers=1;batch=2;flush_us=50)");
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderComposedAsyncShards) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;inner=(zc_async:workers=1;queue=4)");
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderFutexSleepingCallers) {
+  // The failing op's error must reach a caller that slept in the kernel
+  // (wait=futex, spin_us=0) exactly as it reaches a spinning one.
+  install_backend_spec(
+      *enclave_, "zc:wait=futex;spin_us=0;scheduler=off;workers=2");
+  app::KissDB db;
+  ASSERT_EQ(db.open(*libc_, "faulty.db", {}), app::KissDB::kOk);
+  std::uint64_t key = 1;
+  std::uint64_t value = 2;
+  ASSERT_EQ(db.put(&key, &value), app::KissDB::kOk);
+  SimFs::instance().fail_next_ops(1);
+  key = 3;
+  EXPECT_EQ(db.put(&key, &value), app::KissDB::kErrorIo);
+  std::uint64_t out = 0;
+  key = 1;
+  EXPECT_EQ(db.get(&key, &out), app::KissDB::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
 TEST_F(FaultInjectionTest, FaultsBehaveTheSameUnderAsyncWorkers) {
   use_zc_async();
   app::KissDB db;

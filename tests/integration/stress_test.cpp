@@ -229,7 +229,7 @@ TEST_F(StressTest, StealingShardedUnderPressure) {
   // in_flight gauges prove the steal path balances its bookkeeping.
   ZcShardedConfig cfg;
   cfg.shards = 2;
-  cfg.steal = true;
+  cfg.steal = ShardSteal::kScan;
   cfg.policy = ShardPolicy::kLeastLoaded;
   cfg.shard.scheduler_enabled = false;
   cfg.shard.with_initial_workers(1);
@@ -242,22 +242,33 @@ TEST_F(StressTest, StealingShardedUnderPressure) {
   }
 }
 
+TEST_F(StressTest, MaxLoadStealingShardedUnderPressure) {
+  // Load-ordered victim selection under the same pressure: the probe
+  // order is re-derived from churning in_flight gauges on every steal.
+  install_backend_spec(*enclave_,
+                       "zc_sharded:shards=2;workers=1;scheduler=off;"
+                       "policy=affinity_load;load_threshold=1;steal=max_load");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+}
+
 TEST_F(StressTest, StealingChurnWhileCallersRun) {
   // Stealing racing pause/resume churn on every shard: a probe can land
   // on a shard whose workers are pausing mid-drain.
   ZcShardedConfig cfg;
   cfg.shards = 2;
-  cfg.steal = true;
+  cfg.steal = ShardSteal::kScan;
   cfg.shard.scheduler_enabled = false;
   auto backend = make_zc_sharded_backend(*enclave_, cfg);
   auto* raw = backend.get();
   enclave_->set_backend(std::move(backend));
 
+  const unsigned max =
+      dynamic_cast<ZcBackend&>(raw->shard(0)).max_workers();
   std::atomic<bool> stop{false};
   std::jthread churner([&] {
     unsigned m = 0;
     while (!stop.load(std::memory_order_relaxed)) {
-      raw->set_active_workers(m % (raw->shard(0).max_workers() + 1));
+      raw->set_active_workers(m % (max + 1));
       ++m;
       std::this_thread::sleep_for(200us);
     }
@@ -277,17 +288,88 @@ TEST_F(StressTest, ShardedChurnWhileCallersRun) {
   auto* raw = backend.get();
   enclave_->set_backend(std::move(backend));
 
+  const unsigned max =
+      dynamic_cast<ZcBackend&>(raw->shard(0)).max_workers();
   std::atomic<bool> stop{false};
   std::jthread churner([&] {
     unsigned m = 0;
     while (!stop.load(std::memory_order_relaxed)) {
-      raw->set_active_workers(m % (raw->shard(0).max_workers() + 1));
+      raw->set_active_workers(m % (max + 1));
       ++m;
       std::this_thread::sleep_for(200us);
     }
   });
   hammer(scaled_threads(8), scaled_calls(2'000));
   stop.store(true);
+}
+
+TEST_F(StressTest, ComposedShardedBatchedUnderPressure) {
+  // The composed lattice under the full hammer: batched buffers inside a
+  // stealing router, so the steal probe exercises the generic
+  // try_invoke_switchless seam while slots churn.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;steal=on;"
+      "inner=(zc_batched:workers=1;batch=4;flush_us=50)");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  const BackendStatsSnapshot rolled = enclave_->backend().stats_snapshot();
+  EXPECT_GT(rolled.batch_flushes, 0u);  // the inner layer surfaces rolled up
+  EXPECT_EQ(rolled.in_flight, 0u);      // quiesced across every layer
+}
+
+TEST_F(StressTest, ComposedShardedAsyncUnderPressure) {
+  install_backend_spec(
+      *enclave_, "zc_sharded:shards=2;inner=(zc_async:workers=1;queue=8)");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  EXPECT_EQ(enclave_->backend().stats_snapshot().in_flight, 0u);
+}
+
+TEST_F(StressTest, ComposedChurnWhileCallersRun) {
+  // Worker churn forwarded through the router into batched inners while
+  // callers hammer: pause/drain inside every shard races the steal probe.
+  install_backend_spec(
+      *enclave_,
+      "zc_sharded:shards=2;steal=max_load;"
+      "inner=(zc_batched:workers=2;batch=2;flush_us=50)");
+  auto* raw = &enclave_->backend();
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % 3);  // 0, 1, 2 workers per shard
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
+TEST_F(StressTest, FutexWaitZcUnderPressure) {
+  // spin_us=0 + wait=futex: every switchless hand-off puts the caller to
+  // sleep in the kernel and the worker must wake it — the gate's futex
+  // protocol under maximal contention.
+  install_backend_spec(
+      *enclave_, "zc:wait=futex;spin_us=0;scheduler=off;workers=2");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  const BackendStats& stats = enclave_->backend().stats();
+  EXPECT_GT(stats.caller_sleeps.load(), 0u);
+  EXPECT_EQ(stats.caller_sleeps.load(), stats.caller_wakeups.load());
+}
+
+TEST_F(StressTest, FutexWaitBatchedUnderPressure) {
+  install_backend_spec(
+      *enclave_,
+      "zc_batched:workers=2;batch=4;flush_us=50;wait=futex;spin_us=0");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  const BackendStats& stats = enclave_->backend().stats();
+  EXPECT_GT(stats.caller_sleeps.load(), 0u);
+  EXPECT_EQ(stats.caller_sleeps.load(), stats.caller_wakeups.load());
+}
+
+TEST_F(StressTest, FutexWaitAsyncUnderPressure) {
+  install_backend_spec(*enclave_, "zc_async:workers=2;queue=8;wait=futex");
+  hammer(scaled_threads(8), scaled_calls(2'000));
 }
 
 TEST_F(StressTest, BatchedBackendUnderPressure) {
@@ -491,6 +573,10 @@ TEST_F(StressTest, BackendHotSwapBetweenBatches) {
         "zc_batched:workers=2;batch=2;flush=feedback;quantum_us=2000");
     hammer(scaled_threads(4), scaled_calls(250));
     install_backend_spec(*enclave_, "zc_async:workers=2;queue=4");
+    hammer(scaled_threads(4), scaled_calls(250));
+    install_backend_spec(
+        *enclave_,
+        "zc_sharded:shards=2;steal=on;inner=(zc_batched:workers=1;batch=2)");
     hammer(scaled_threads(4), scaled_calls(250));
   }
 }
