@@ -1,0 +1,251 @@
+// MpscSlotRing: the lock-free submit ring of the switchless call planes.
+//
+// Shape of the problem: many application threads (producers) hand request
+// slots to one worker thread (the consumer), which is also the only
+// completion-side writer.  The table-scan claim paths of zc_batched /
+// zc_async are O(slots) per claim and serialize contended claims through
+// CAS retries over the whole table; this ring makes a claim one CAS on a
+// tail counter, and gives the worker an O(1) "oldest pending" lookup
+// instead of a sweep.
+//
+// The design is the bounded-MPMC sequence-number queue (Vyukov),
+// specialised to one consumer and adapted to *slot* hand-off: a producer
+// does not enqueue a value, it claims a cell's embedded SlotT in place,
+// marshals into it, and publishes; the consumer peeks the slot in place
+// and the party that ultimately finishes with the slot (usually the
+// caller collecting its result) recycles the cell for reuse.  That split
+// — pop (consume the ticket order) and recycle (free the cell) as
+// separate steps — is what lets completion run out of order while claims
+// stay FIFO.
+//
+// Per cell, a 64-bit `seq` encodes the cell's lifecycle against the
+// monotonically increasing ticket t of its current occupant:
+//
+//     seq == t              free: claimable by the producer holding t
+//     seq == t + 1          published: visible to the consumer
+//     seq == t + capacity   recycled: free for ticket t + capacity
+//
+// (between claim and publish, seq stays at t — the consumer treats the
+// cell as not-ready, which is what makes a crash-free claim/publish gap
+// safe).  All comparisons are signed 64-bit differences, so the ring is
+// wraparound-correct even if tickets are started near 2^32 or 2^64 (the
+// force-wrap regression tests do exactly that).
+//
+// Concurrency contract:
+//   * try_claim / publish / recycle / at / peek_published — any thread.
+//   * front / pop / published_run — the single consumer only.  The
+//     consumer *role* may migrate (worker thread, then the stopping
+//     thread's final drain) but must never be concurrent.
+//   * Entries can be consumed out of band (a stopping producer
+//     self-serving its own slot after arbitration): the consumer detects
+//     the cell's seq having moved past t+1 and skips it; see front().
+//
+// publish() is seq_cst on purpose: backends pair it with a seq_cst read
+// of a parked/running flag so "publish, then check flag" and "set flag,
+// then scan ring" cannot both miss each other (the same store-buffer
+// pairing CompletionGate::notify documents).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace zc {
+
+template <typename SlotT>
+class MpscSlotRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).  start_ticket
+  /// sets the first ticket value handed out — production code uses 0;
+  /// wrap regression tests start just below 2^32 / 2^64.  Trailing
+  /// arguments are passed (by const reference, once per cell) to every
+  /// embedded SlotT's constructor — the call planes hand their slot pool
+  /// size through here.
+  template <typename... SlotArgs>
+  explicit MpscSlotRing(std::size_t capacity, std::uint64_t start_ticket = 0,
+                        const SlotArgs&... slot_args)
+      : mask_(round_up_pow2(capacity) - 1),
+        head_(start_ticket),
+        tail_(start_ticket) {
+    cells_.reserve(mask_ + 1);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_.push_back(std::make_unique<Cell>(slot_args...));
+    }
+    // Cell at index i starts free for the first ticket >= start_ticket
+    // that maps to it: seq == that ticket (the "free" encoding above).
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const std::uint64_t first =
+          start_ticket + ((i - start_ticket) & mask_);
+      cells_[i]->seq.store(first, std::memory_order_relaxed);
+    }
+  }
+
+  MpscSlotRing(const MpscSlotRing&) = delete;
+  MpscSlotRing& operator=(const MpscSlotRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer: claims the next free cell.  On success `ticket` holds the
+  /// claim's position and the returned slot is exclusively owned until
+  /// publish(); returns nullptr when the ring is full (a cell whose
+  /// previous occupant has not been recycled yet).
+  SlotT* try_claim(std::uint64_t& ticket) noexcept {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = *cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          ticket = pos;
+          return &cell.slot;
+        }
+        // CAS failure reloaded pos; retry against the new cell.
+      } else if (dif < 0) {
+        return nullptr;  // previous occupant still live: ring full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Producer: makes a claimed cell visible to the consumer.  Call after
+  /// the slot's own state word is stored (the consumer may act on the
+  /// slot the instant this lands).
+  void publish(std::uint64_t ticket) noexcept {
+    cells_[ticket & mask_]->seq.store(ticket + 1, std::memory_order_seq_cst);
+  }
+
+  /// Consumer: the oldest published entry, or nullptr when the entry at
+  /// the head is absent or not yet published.  Cells whose occupant was
+  /// consumed out of band (seq moved past ticket+1: recycled, or already
+  /// re-claimed by a later ticket) are skipped by advancing the head —
+  /// callers never see them.
+  SlotT* front(std::uint64_t& ticket) noexcept {
+    for (;;) {
+      const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+      Cell& cell = *cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - (pos + 1));
+      if (dif == 0) {
+        ticket = pos;
+        return &cell.slot;
+      }
+      if (dif < 0) return nullptr;  // free, or claimed but unpublished
+      head_.store(pos + 1, std::memory_order_relaxed);  // consumed elsewhere
+    }
+  }
+
+  /// Consumer: retires the current front() entry from the claim order.
+  /// The cell itself stays live until recycle().
+  void pop() noexcept {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+
+  /// Whoever finishes with the slot (caller collecting, worker releasing
+  /// an abandoned entry): frees the cell for ticket + capacity.
+  void recycle(std::uint64_t ticket) noexcept {
+    cells_[ticket & mask_]->seq.store(ticket + capacity(),
+                                      std::memory_order_release);
+  }
+
+  /// The slot a ticket maps to, independent of lifecycle state (const:
+  /// probing a slot's own atomics is legal from any thread).
+  SlotT& at(std::uint64_t ticket) const noexcept {
+    return cells_[ticket & mask_]->slot;
+  }
+
+  /// Any thread: the slot at `ticket` iff that exact ticket is currently
+  /// published (stop-path drain sweeps use this to serve entries out of
+  /// order after arbitrating via the slot's state word).
+  SlotT* peek_published(std::uint64_t ticket) noexcept {
+    Cell& cell = *cells_[ticket & mask_];
+    if (cell.seq.load(std::memory_order_acquire) != ticket + 1) {
+      return nullptr;
+    }
+    return &cell.slot;
+  }
+
+  /// Any thread (cold paths — park predicates, exit drains): the slot at
+  /// cell index `index` iff that cell currently holds a published entry,
+  /// with `ticket` receiving its ticket.  Unlike front() this sees
+  /// publishes *out of claim order* (a gap at the head — some producer
+  /// still marshalling — does not hide later published entries), which is
+  /// what lets a draining worker serve stragglers without blocking on the
+  /// gap.  seq_cst loads: paired with the producers' seq_cst publish and
+  /// running-flag re-check, a drain that runs after the stop flag flips is
+  /// guaranteed to observe every publish whose producer saw the backend
+  /// still running.
+  SlotT* published_at(std::size_t index, std::uint64_t& ticket) noexcept {
+    const std::uint64_t seq =
+        cells_[index]->seq.load(std::memory_order_seq_cst);
+    // Published cells are the only ones with seq ≡ index+1 (mod capacity):
+    // free and claimed cells sit at seq ≡ index, recycled ones too.
+    if (((seq - 1 - index) & mask_) != 0) return nullptr;
+    ticket = seq - 1;
+    return &cells_[index]->slot;
+  }
+
+  /// Any thread: true when any cell currently holds a published entry
+  /// (the parked-worker wake predicate).
+  bool any_published() const noexcept {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const std::uint64_t seq =
+          cells_[i]->seq.load(std::memory_order_seq_cst);
+      if (((seq - 1 - i) & mask_) == 0) return true;
+    }
+    return false;
+  }
+
+  /// Consumer: how many entries starting at the head are published and
+  /// contiguous — the batched worker's "is the batch full" signal.
+  std::size_t published_run() const noexcept {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    std::size_t run = 0;
+    while (run <= mask_) {
+      const std::uint64_t t = pos + run;
+      if (cells_[t & mask_]->seq.load(std::memory_order_acquire) != t + 1) {
+        break;
+      }
+      ++run;
+    }
+    return run;
+  }
+
+  /// Snapshot of the claim-order cursors (drain sweeps walk
+  /// [head(), tail()) with peek_published()).
+  std::uint64_t head() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::uint64_t tail() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    template <typename... SlotArgs>
+    explicit Cell(const SlotArgs&... slot_args) : slot(slot_args...) {}
+    std::atomic<std::uint64_t> seq{0};
+    SlotT slot;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t mask_;
+  // Heap-allocated cells: SlotT in the call planes embeds atomics, pools
+  // and gates, none of which are movable, and each cell gets its own
+  // cache-line neighbourhood for free.
+  std::vector<std::unique_ptr<Cell>> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_;  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_;  // producer cursor
+};
+
+}  // namespace zc

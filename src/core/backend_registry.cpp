@@ -577,6 +577,14 @@ std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
   if (cfg.slot_pool_bytes == 0) {
     throw BackendSpecError("zc_batched: pool_bytes must be > 0");
   }
+  cfg.ring = spec.get_bool("ring", cfg.ring);
+  cfg.coalesce = spec.get_bool("coalesce", cfg.coalesce);
+  if (cfg.coalesce && !gate_can_sleep(cfg.wait)) {
+    throw BackendSpecError(
+        "zc_batched: coalesce=on batches *sleeper* wake-ups; it needs "
+        "wait=futex or wait=condvar (spin/yield callers never sleep, so "
+        "there is nothing to coalesce)");
+  }
   return make_zc_batched_backend(enclave, std::move(cfg));
 }
 
@@ -606,6 +614,8 @@ std::unique_ptr<CallBackend> build_zc_async(Enclave& enclave,
         "zc_async: wait must be futex or condvar — the async plane never "
         "spins (that is its point)");
   }
+  cfg.ring = spec.get_bool("ring", cfg.ring);
+  cfg.coalesce = spec.get_bool("coalesce", cfg.coalesce);
   return make_zc_async_backend(enclave, std::move(cfg));
 }
 
@@ -716,13 +726,14 @@ BackendRegistry& BackendRegistry::instance() {
          "ZC with per-worker batch buffers flushed on batch=K, flush_us=T "
          "or the adaptive flush=feedback window",
          {"workers", "batch", "flush", "flush_us", "quantum_us", "spin_us",
-          "wait", "pool_bytes", "direction"},
+          "wait", "pool_bytes", "ring", "coalesce", "direction"},
          build_zc_batched});
     r->register_backend(
         {"zc_async",
          "future-based ZC: submit()/wait() futures, futex/condvar "
          "completion, no caller spin",
-         {"workers", "queue", "pool_bytes", "wait", "direction"},
+         {"workers", "queue", "pool_bytes", "wait", "ring", "coalesce",
+          "direction"},
          build_zc_async});
     return r;
   }();

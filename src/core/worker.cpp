@@ -93,7 +93,12 @@ void ZcWorker::cancel_reservation() noexcept {
 }
 
 void ZcWorker::command(SchedCmd cmd) noexcept {
-  cmd_.store(cmd, std::memory_order_release);
+  // Only an actual transition needs the notify: the scheduler re-issues
+  // the full command vector every probe and every quantum, so an
+  // unconditional notify turned a paused worker into a spurious-wake
+  // target many times per second (the same storm the batched/async
+  // set_active_workers fix removes).
+  if (cmd_.exchange(cmd, std::memory_order_acq_rel) == cmd) return;
   // Publish under the mutex so a worker between predicate check and wait
   // cannot miss the notification.
   {
@@ -148,11 +153,13 @@ void ZcWorker::main() {
           stats_.worker_sleeps.add();
           if (cfg_.meter != nullptr) cfg_.meter->checkpoint(meter_slot);
           std::unique_lock lock(mu_);
-          cv_.wait(lock, [this] {
-            return cmd_.load(std::memory_order_acquire) != SchedCmd::kPause;
-          });
+          // Count every resume — spurious ones included — so wake storms
+          // show up in worker_wakeups, not just in syscall profiles.
+          while (cmd_.load(std::memory_order_acquire) == SchedCmd::kPause) {
+            cv_.wait(lock);
+            stats_.worker_wakeups.add();
+          }
           status_.store(WorkerState::kUnused, std::memory_order_release);
-          stats_.worker_wakeups.add();
         }
         continue;
       }

@@ -35,6 +35,22 @@
 // Workers can be paused/resumed (set_active_workers); a pausing worker
 // drains its published slots before parking, and a caller that publishes
 // into a parked worker's buffer wakes it, so no call is ever lost.
+//
+// Two hot-path variants are spec-selectable so the legacy path stays
+// A/B-able (`ring=`/`coalesce=` in the backend spec):
+//
+//  - ring=on: each worker's slot buffer becomes a lock-free MPSC ring
+//    (MpscSlotRing).  A claim is one CAS on the ring tail instead of a
+//    CAS-scan over the whole buffer, and the worker reads the oldest
+//    pending request in O(1) (ring front) instead of sweeping every slot
+//    per loop.  The slot life cycle grows one state — a worker (or a
+//    stop-racing caller serving its own slot) moves PENDING -> EXECUTING
+//    by CAS before dispatching, which arbitrates who runs the call.
+//  - coalesce=on (requires a sleeping wait= policy): callers sleep on
+//    their worker's shared gate via await_coalesced(), and a flush issues
+//    one notify_batch() — one futex wake / condvar broadcast per batch —
+//    instead of one notify() per slot (BackendStats::wake_batches counts
+//    the broadcasts; BM_GatePolicy priced the per-slot wake at ~2.2 µs).
 #pragma once
 
 #include <atomic>
@@ -48,6 +64,7 @@
 
 #include "common/completion_gate.hpp"
 #include "common/cpu_meter.hpp"
+#include "common/mpsc_ring.hpp"
 #include "common/pool.hpp"
 #include "sgx/enclave.hpp"
 
@@ -83,6 +100,14 @@ struct ZcBatchedConfig {
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular ocall.
   std::size_t slot_pool_bytes = 64 * 1024;
+  /// Lock-free MPSC submit ring per worker instead of the slot-table
+  /// CAS-scan (see the header comment); `batch` becomes the ring capacity
+  /// (rounded up to a power of two).
+  bool ring = false;
+  /// One coalesced wake broadcast per flush instead of per-slot notifies.
+  /// Only meaningful with a sleeping wait= policy (futex/condvar); the
+  /// spec layer rejects other combinations.
+  bool coalesce = false;
   CpuUsageMeter* meter = nullptr;
   CallDirection direction = CallDirection::kOcall;
 };
@@ -138,12 +163,20 @@ class ZcBatchedBackend final : public CallBackend {
 
   const ZcBatchedConfig& config() const noexcept { return cfg_; }
 
+  /// Test hook: plants the rotating-claim counter (wraparound regression
+  /// tests start it just below the old 32-bit boundary).
+  void set_claim_rotation_for_test(std::uint64_t v) noexcept {
+    ticket_.store(v, std::memory_order_relaxed);
+  }
+
  private:
   enum class SlotState : std::uint32_t {
     kEmpty = 0,  ///< free, claimable by callers
     kClaimed,    ///< a caller is marshalling into the slot
     kPending,    ///< published, awaiting the next flush
     kDone,       ///< executed, awaiting collection by the caller
+    kExecuting,  ///< ring mode only: dispatch in progress; the PENDING ->
+                 ///< EXECUTING CAS arbitrates worker vs. stop-racing caller
   };
 
   struct alignas(64) Slot {
@@ -158,8 +191,13 @@ class ZcBatchedBackend final : public CallBackend {
   enum class WorkerCmd : std::uint32_t { kRun = 0, kPause, kExit };
 
   struct Worker {
-    Worker(unsigned batch, std::size_t pool_bytes);
+    Worker(unsigned batch, std::size_t pool_bytes, bool use_ring);
+    /// Table mode: the classic CAS-scanned slot buffer (empty under ring=).
     std::vector<std::unique_ptr<Slot>> slots;
+    /// Ring mode: the lock-free submit ring (null under the table mode).
+    std::unique_ptr<MpscSlotRing<Slot>> ring;
+    /// coalesce=on: the shared gate all of this worker's callers sleep on.
+    CompletionGate gate;
     std::atomic<WorkerCmd> cmd{WorkerCmd::kRun};
     std::atomic<bool> parked{false};
     std::mutex mu;
@@ -170,6 +208,11 @@ class ZcBatchedBackend final : public CallBackend {
   static void wake(Worker& w);
   void worker_main(Worker& w);
   void flush(Worker& w);
+  void dispatch_slot(Slot& slot);
+  void await_done(Worker& w, Slot& slot);
+  bool try_invoke_ring(const CallDesc& desc, unsigned m);
+  void flush_ring(Worker& w);
+  void flush_ring_stragglers(Worker& w);
   void controller_main(const std::stop_token& st);
   void execute_regular(const CallDesc& desc);
   CallPath fallback(const CallDesc& desc);
@@ -178,7 +221,12 @@ class ZcBatchedBackend final : public CallBackend {
   ZcBatchedConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<unsigned> active_count_{0};
-  std::atomic<unsigned> ticket_{0};
+  /// Rotating claim start.  64-bit on purpose: the old 32-bit counter made
+  /// the rotation index `(first + i) % m` jump at the 2^32 wraparound
+  /// (where `first + i` overflowed mid-scan), skewing claim spreading; a
+  /// 64-bit counter cannot wrap in any realistic run, and the force-wrap
+  /// regression test pins the behaviour at the old boundary.
+  std::atomic<std::uint64_t> ticket_{0};
   std::atomic<bool> running_{false};
 
   /// Live partial-flush window, read by every worker sweep.  Written only

@@ -16,7 +16,11 @@
 // or the async completion table.  The spec plane spells composition as a
 // nested spec — `zc_sharded:shards=4;inner=(zc_batched:batch=8)` — and the
 // router's probe (CallBackend::try_invoke_switchless) plus the per-shard
-// stats().in_flight gauge are the whole inner-backend contract.
+// stats().in_flight gauge are the whole inner-backend contract.  Inner
+// planes keep their full option surface, so the MPSC submit ring and
+// coalesced wakes compose transparently: each shard of
+// `inner=(zc_batched:ring=on;coalesce=on;wait=futex)` runs its own rings
+// and its own batch-wake epoch, with no router involvement.
 //
 // Shard selection policies:
 //  - round_robin: a relaxed atomic ticket spreads calls evenly.  Best when

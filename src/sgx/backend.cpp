@@ -37,6 +37,7 @@ BackendStatsSnapshot BackendStats::snapshot() const noexcept {
   s.caller_sleeps = caller_sleeps.load();
   s.caller_wakeups = caller_wakeups.load();
   s.steals = steals.load();
+  s.wake_batches = wake_batches.load();
   s.in_flight = in_flight.load();
   return s;
 }
@@ -54,6 +55,7 @@ BackendStatsSnapshot& BackendStatsSnapshot::merge(
   caller_sleeps += other.caller_sleeps;
   caller_wakeups += other.caller_wakeups;
   steals += other.steals;
+  wake_batches += other.wake_batches;
   in_flight += other.in_flight;
   return *this;
 }

@@ -52,6 +52,9 @@ struct BackendStats {
   PaddedCounter caller_wakeups;    ///< sleeping callers woken by a worker
   PaddedCounter steals;            ///< calls served by a non-primary shard
                                    ///< (sharded backend, steal=on)
+  PaddedCounter wake_batches;      ///< coalesced wake broadcasts: one per
+                                   ///< notify_batch() a worker issued in
+                                   ///< place of per-slot caller wakeups
   /// Calls currently occupying one of this backend's workers (claimed
   /// through collected).  This is the cheap per-shard load signal the
   /// sharded backend's load-aware selectors read: a level, not a total.
@@ -82,6 +85,7 @@ struct BackendStatsSnapshot {
   std::uint64_t caller_sleeps = 0;
   std::uint64_t caller_wakeups = 0;
   std::uint64_t steals = 0;
+  std::uint64_t wake_batches = 0;
   std::uint64_t in_flight = 0;
 
   std::uint64_t total_calls() const noexcept {

@@ -1,0 +1,231 @@
+// MpscSlotRing: the lock-free submit ring under zc_batched/zc_async
+// ring=on — claim/publish/consume lifecycle, full-ring refusal,
+// out-of-band consumption (the stop-path self-serve), straggler lookups
+// past a head gap, and ticket wraparound across the 2^32 and 2^64
+// boundaries.
+#include "common/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace zc {
+namespace {
+
+struct TestSlot {
+  explicit TestSlot(int tag_in = 0) : tag(tag_in) {}
+  int tag = 0;
+  std::uint64_t value = 0;
+};
+
+TEST(MpscSlotRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscSlotRing<TestSlot>(1).capacity(), 2u);
+  EXPECT_EQ(MpscSlotRing<TestSlot>(2).capacity(), 2u);
+  EXPECT_EQ(MpscSlotRing<TestSlot>(3).capacity(), 4u);
+  EXPECT_EQ(MpscSlotRing<TestSlot>(8).capacity(), 8u);
+  EXPECT_EQ(MpscSlotRing<TestSlot>(9).capacity(), 16u);
+}
+
+TEST(MpscSlotRingTest, SlotConstructorArgumentsReachEveryCell) {
+  MpscSlotRing<TestSlot> ring(4, 0, 42);
+  for (std::uint64_t t = 0; t < 4; ++t) EXPECT_EQ(ring.at(t).tag, 42);
+}
+
+TEST(MpscSlotRingTest, ClaimPublishConsumeRecycleRoundTrips) {
+  MpscSlotRing<TestSlot> ring(4);
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    std::uint64_t t = 0;
+    TestSlot* s = ring.try_claim(t);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(t, round);
+    // Claimed but unpublished: invisible to the consumer.
+    std::uint64_t front_ticket = 0;
+    EXPECT_EQ(ring.front(front_ticket), nullptr);
+    s->value = 100 + round;
+    ring.publish(t);
+    TestSlot* f = ring.front(front_ticket);
+    ASSERT_EQ(f, s);
+    EXPECT_EQ(front_ticket, t);
+    EXPECT_EQ(f->value, 100 + round);
+    ring.pop();
+    ring.recycle(t);
+  }
+}
+
+TEST(MpscSlotRingTest, FullRingRefusesClaims) {
+  MpscSlotRing<TestSlot> ring(2);
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0;
+  ASSERT_NE(ring.try_claim(t0), nullptr);
+  ASSERT_NE(ring.try_claim(t1), nullptr);
+  EXPECT_EQ(ring.try_claim(t2), nullptr);  // full: both cells live
+  ring.publish(t0);
+  EXPECT_EQ(ring.try_claim(t2), nullptr);  // published != recycled
+  std::uint64_t f = 0;
+  ASSERT_NE(ring.front(f), nullptr);
+  ring.pop();
+  ring.recycle(t0);
+  TestSlot* s = ring.try_claim(t2);
+  ASSERT_NE(s, nullptr);  // recycle freed the cell for ticket+capacity
+  EXPECT_EQ(t2, t0 + ring.capacity());
+}
+
+TEST(MpscSlotRingTest, OutOfBandConsumptionIsSkippedByFront) {
+  // The stop-path shape: tickets 0 and 1 are published, ticket 0 is then
+  // served out of band (recycled without a front/pop pass).  front() must
+  // skip the dead cell and land on ticket 1.
+  MpscSlotRing<TestSlot> ring(4);
+  std::uint64_t t0 = 0, t1 = 0;
+  ASSERT_NE(ring.try_claim(t0), nullptr);
+  ASSERT_NE(ring.try_claim(t1), nullptr);
+  ring.publish(t0);
+  ring.publish(t1);
+  ring.recycle(t0);  // consumed elsewhere (producer self-serve)
+  std::uint64_t f = 0;
+  TestSlot* s = ring.front(f);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(f, t1);
+}
+
+TEST(MpscSlotRingTest, PublishedAtSeesPastAHeadGap) {
+  // Ticket 0 is claimed but never published (a producer mid-marshal);
+  // ticket 1 is published.  front() blocks on the gap, published_at()
+  // finds the straggler — the drain path's whole reason to exist.
+  MpscSlotRing<TestSlot> ring(4);
+  std::uint64_t t0 = 0, t1 = 0;
+  ASSERT_NE(ring.try_claim(t0), nullptr);
+  TestSlot* s1 = ring.try_claim(t1);
+  ASSERT_NE(s1, nullptr);
+  ring.publish(t1);
+  std::uint64_t f = 0;
+  EXPECT_EQ(ring.front(f), nullptr);  // gap at the head
+  EXPECT_TRUE(ring.any_published());
+  unsigned found = 0;
+  for (std::size_t i = 0; i < ring.capacity(); ++i) {
+    std::uint64_t ticket = 0;
+    TestSlot* s = ring.published_at(i, ticket);
+    if (s == nullptr) continue;
+    ++found;
+    EXPECT_EQ(s, s1);
+    EXPECT_EQ(ticket, t1);
+  }
+  EXPECT_EQ(found, 1u);
+  ring.publish(t0);  // gap resolves; head order restored
+  ASSERT_NE(ring.front(f), nullptr);
+  EXPECT_EQ(f, t0);
+}
+
+TEST(MpscSlotRingTest, PublishedRunCountsContiguousPrefix) {
+  MpscSlotRing<TestSlot> ring(8);
+  std::uint64_t t[4];
+  for (auto& ticket : t) ASSERT_NE(ring.try_claim(ticket), nullptr);
+  EXPECT_EQ(ring.published_run(), 0u);
+  ring.publish(t[0]);
+  ring.publish(t[1]);
+  ring.publish(t[3]);  // hole at t[2]
+  EXPECT_EQ(ring.published_run(), 2u);
+  ring.publish(t[2]);
+  EXPECT_EQ(ring.published_run(), 4u);
+}
+
+class MpscSlotRingWrapTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpscSlotRingWrapTest, TicketsCrossTheBoundaryCorrectly) {
+  // Start the ticket counter just below the boundary and push enough
+  // traffic through that every comparison in the ring sees mixed
+  // before/after values.  The signed-difference encoding must keep
+  // claim, front, published_at and recycle all consistent.
+  const std::uint64_t start = GetParam();
+  MpscSlotRing<TestSlot> ring(4, start);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    std::uint64_t t = 0;
+    TestSlot* s = ring.try_claim(t);
+    ASSERT_NE(s, nullptr) << "i=" << i;
+    EXPECT_EQ(t, start + i);
+    s->value = i;
+    ring.publish(t);
+    std::uint64_t f = 0;
+    TestSlot* got = ring.front(f);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(f, t);
+    EXPECT_EQ(got->value, i);
+    // Straggler lookup agrees across the boundary too.
+    std::uint64_t pt = 0;
+    EXPECT_EQ(ring.published_at(t & (ring.capacity() - 1), pt), got);
+    EXPECT_EQ(pt, t);
+    ring.pop();
+    ring.recycle(t);
+  }
+  EXPECT_EQ(ring.head(), start + 64);
+  EXPECT_EQ(ring.tail(), start + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, MpscSlotRingWrapTest,
+    ::testing::Values(
+        // The old 32-bit ticket counter died here; the ring must not.
+        (std::uint64_t{1} << 32) - 8,
+        // Full 64-bit wrap: tickets pass 2^64 - 1 and wrap to small values.
+        ~std::uint64_t{0} - 7),
+    [](const auto& info) {
+      return info.index == 0 ? "Near2e32" : "Near2e64";
+    });
+
+TEST(MpscSlotRingTest, ConcurrentProducersSingleConsumer) {
+  // 4 producers hammer claims while one consumer front/pop/recycles.
+  // Every published value must be consumed exactly once, in claim order.
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5'000;
+  MpscSlotRing<TestSlot> ring(8);
+  std::atomic<std::uint64_t> consumed{0};
+  std::vector<std::uint64_t> order;
+  order.reserve(kProducers * kPerProducer);
+  std::jthread consumer([&] {
+    while (consumed.load(std::memory_order_relaxed) <
+           kProducers * kPerProducer) {
+      std::uint64_t t = 0;
+      TestSlot* s = ring.front(t);
+      if (s == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      order.push_back(s->value);
+      ring.pop();
+      ring.recycle(t);
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  {
+    std::vector<std::jthread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          std::uint64_t t = 0;
+          TestSlot* s = nullptr;
+          while ((s = ring.try_claim(t)) == nullptr) {
+            std::this_thread::yield();
+          }
+          s->value = (std::uint64_t{p} << 32) | i;
+          ring.publish(t);
+        }
+      });
+    }
+  }
+  consumer.join();
+  ASSERT_EQ(order.size(), kProducers * kPerProducer);
+  // Per-producer FIFO: claims are ticket-ordered and the consumer walks
+  // tickets in order, so each producer's values appear in sequence.
+  std::vector<std::uint64_t> next(kProducers, 0);
+  for (const std::uint64_t v : order) {
+    const unsigned p = static_cast<unsigned>(v >> 32);
+    const std::uint64_t i = v & 0xFFFF'FFFF;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(i, next[p]);
+    next[p] = i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace zc

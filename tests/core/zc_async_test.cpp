@@ -442,6 +442,271 @@ TEST_F(ZcAsyncTest, EcallDirectionServesTrustedFunctions) {
   enclave_->set_ecall_backend(nullptr);
 }
 
+// --- MPSC submit ring & coalesced wakes ------------------------------------
+
+struct AsyncPlane {
+  const char* tag;
+  bool ring;
+  bool coalesce;
+  GateWaitPolicy wait;
+};
+
+class ZcAsyncPlaneTest : public ZcAsyncTest,
+                         public ::testing::WithParamInterface<AsyncPlane> {
+ protected:
+  ZcAsyncConfig plane_config() {
+    ZcAsyncConfig cfg;
+    cfg.ring = GetParam().ring;
+    cfg.coalesce = GetParam().coalesce;
+    cfg.wait = GetParam().wait;
+    return cfg;
+  }
+};
+
+TEST_P(ZcAsyncPlaneTest, SubmitWaitRoundTrips) {
+  ZcAsyncConfig cfg = plane_config();
+  cfg.workers = 2;
+  cfg.queue = 8;
+  auto* backend = install(cfg);
+
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EchoArgs args;
+    args.in = i;
+    CallFuture future = backend->submit(echo_desc(args));
+    future.wait();
+    ASSERT_EQ(args.out, i + 1) << i;
+  }
+  EXPECT_EQ(backend->stats().total_calls(), 200u);
+}
+
+TEST_P(ZcAsyncPlaneTest, OutOfOrderCompletionResolvesTheRightFutures) {
+  ZcAsyncConfig cfg = plane_config();
+  cfg.workers = 2;
+  cfg.queue = 4;
+  auto* backend = install(cfg);
+
+  EchoArgs slow;
+  slow.in = 7;
+  CallFuture slow_future = backend->submit(gated_desc(slow));
+  EchoArgs fast;
+  fast.in = 1;
+  CallFuture fast_future = backend->submit(echo_desc(fast));
+
+  EXPECT_EQ(fast_future.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(fast.out, 2u);
+  EXPECT_FALSE(slow_future.poll());
+
+  gate_.store(true, std::memory_order_release);
+  EXPECT_EQ(slow_future.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(slow.out, 70u);
+}
+
+TEST_P(ZcAsyncPlaneTest, PauseResumeChurnWithInFlightFuturesLosesNothing) {
+  ZcAsyncConfig cfg = plane_config();
+  cfg.workers = 2;
+  cfg.queue = 8;
+  auto* backend = install(cfg);
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      backend->set_active_workers(m % 3);
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+
+  constexpr unsigned kDepth = 4;
+  constexpr std::uint64_t kCalls = 600;
+  std::uint64_t failures = 0;
+  std::vector<EchoArgs> ring(kDepth);
+  std::vector<CallFuture> futures(kDepth);
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    const std::size_t k = i % kDepth;
+    futures[k].wait();
+    if (i >= kDepth && ring[k].out != ring[k].in + 1) ++failures;
+    ring[k].in = i;
+    ring[k].out = 0;
+    futures[k] = backend->submit(echo_desc(ring[k]));
+  }
+  for (std::size_t k = 0; k < kDepth; ++k) {
+    futures[k].wait();
+    if (ring[k].out != ring[k].in + 1) ++failures;
+  }
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(backend->stats().total_calls(), kCalls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SubmitPlanes, ZcAsyncPlaneTest,
+    ::testing::Values(
+        AsyncPlane{"table_futex", false, false, GateWaitPolicy::kFutex},
+        AsyncPlane{"ring_futex", true, false, GateWaitPolicy::kFutex},
+        AsyncPlane{"table_coalesce", false, true, GateWaitPolicy::kFutex},
+        AsyncPlane{"ring_coalesce", true, true, GateWaitPolicy::kFutex},
+        AsyncPlane{"ring_coalesce_condvar", true, true,
+                   GateWaitPolicy::kCondvar}),
+    [](const auto& info) { return std::string(info.param.tag); });
+
+TEST_F(ZcAsyncTest, TicketCounterSurvivesThe32BitBoundary) {
+  // Regression: ticket_ was a 32-bit fetch_add.  A long-lived backend
+  // wrapping it mid-run corrupted the rotation (and, had generations been
+  // derived from it, the ABA protection).  Plant the counter just below
+  // 2^32 and drive enough traffic through to cross the boundary.
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 8;
+  auto* backend = install(cfg);
+  backend->set_claim_rotation_for_test((std::uint64_t{1} << 32) - 100);
+
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    EchoArgs args;
+    args.in = i;
+    CallFuture future = backend->submit(echo_desc(args));
+    future.wait();
+    ASSERT_EQ(args.out, i + 1) << i;
+  }
+  EXPECT_EQ(backend->stats().total_calls(), 400u);
+}
+
+TEST_F(ZcAsyncTest, RingTicketsProtectStaleHandles) {
+  // Ring-mode ABA: a cell is reused by later tickets, but a stale handle
+  // carries its original ticket — which can never be handed out again —
+  // so it must keep reading "completed" forever, and never alias the
+  // cell's current occupant.
+  ZcAsyncConfig cfg;
+  cfg.workers = 1;
+  cfg.queue = 2;
+  cfg.ring = true;
+  auto* backend = install(cfg);
+
+  EchoArgs first;
+  first.in = 1;
+  CallFuture f1 = backend->submit(echo_desc(first));
+  const FutureHandle h1 = f1.handle();
+  ASSERT_NE(h1.slot, FutureHandle::kInline);
+  EXPECT_EQ(f1.wait(), CallPath::kSwitchless);
+
+  // Cycle the ring many times so h1's cell is reoccupied repeatedly.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EchoArgs args;
+    args.in = i;
+    CallFuture f = backend->submit(echo_desc(args));
+    f.wait();
+    ASSERT_EQ(args.out, i + 1);
+    EXPECT_TRUE(backend->handle_completed(h1)) << i;
+  }
+
+  // And a live in-flight occupant of the same cell still reads not-done
+  // while the stale handle reads done.
+  EchoArgs held;
+  held.in = 3;
+  CallFuture f2 = backend->submit(gated_desc(held));
+  EXPECT_TRUE(backend->handle_completed(h1));
+  EXPECT_FALSE(f2.poll());
+  gate_.store(true, std::memory_order_release);
+  EXPECT_EQ(f2.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(held.out, 30u);
+}
+
+TEST_F(ZcAsyncTest, RingFullBackpressureFallsBackInline) {
+  // workers=1, queue=1 gives a per-worker ring of capacity 2 (the ring
+  // minimum).  Hold both cells in flight; the next submission must fall
+  // back inline exactly like the table's queue-full path.
+  ZcAsyncConfig cfg;
+  cfg.workers = 1;
+  cfg.queue = 1;
+  cfg.ring = true;
+  auto* backend = install(cfg);
+
+  EchoArgs held_a, held_b;
+  held_a.in = 2;
+  held_b.in = 4;
+  CallFuture fa = backend->submit(gated_desc(held_a));
+  CallFuture fb = backend->submit(gated_desc(held_b));
+  ASSERT_NE(fa.handle().slot, FutureHandle::kInline);
+  ASSERT_NE(fb.handle().slot, FutureHandle::kInline);
+
+  EchoArgs args;
+  args.in = 20;
+  CallFuture inline_future = backend->submit(echo_desc(args));
+  EXPECT_EQ(inline_future.handle().slot, FutureHandle::kInline);
+  EXPECT_EQ(args.out, 21u);
+  EXPECT_EQ(inline_future.wait(), CallPath::kFallback);
+
+  gate_.store(true, std::memory_order_release);
+  EXPECT_EQ(fa.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(held_a.out, 20u);
+  EXPECT_EQ(fb.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(held_b.out, 40u);
+}
+
+TEST_F(ZcAsyncTest, RingStopDrainsInFlightFutures) {
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 4;
+  cfg.ring = true;
+  cfg.coalesce = true;
+  auto backend = make_zc_async_backend(*enclave_, cfg);
+  backend->start();
+
+  EchoArgs gated_args;
+  gated_args.in = 6;
+  CallFuture gated_future = backend->submit(gated_desc(gated_args));
+  EchoArgs echo_args;
+  echo_args.in = 8;
+  CallFuture echo_future = backend->submit(echo_desc(echo_args));
+
+  std::jthread opener([&] {
+    std::this_thread::sleep_for(1ms);
+    gate_.store(true, std::memory_order_release);
+  });
+  backend->stop();
+  EXPECT_EQ(gated_future.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(gated_args.out, 60u);
+  EXPECT_EQ(echo_future.wait(), CallPath::kSwitchless);
+  EXPECT_EQ(echo_args.out, 9u);
+}
+
+TEST_F(ZcAsyncTest, RingOptionsReachTheBackendFromTheSpecPlane) {
+  install_backend_spec(
+      *enclave_, "zc_async:workers=1;queue=4;ring=on;coalesce=on;wait=futex");
+  auto* backend = dynamic_cast<ZcAsyncBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(backend->config().ring);
+  EXPECT_TRUE(backend->config().coalesce);
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 2u);
+}
+
+TEST_F(ZcAsyncTest, RedundantSetActiveWorkersWakesNobody) {
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 4;
+  auto* backend = install(cfg);
+
+  backend->set_active_workers(0);
+  while (backend->stats().worker_sleeps.load() < 2) {
+    std::this_thread::sleep_for(100us);
+  }
+  std::this_thread::sleep_for(2ms);
+  const std::uint64_t baseline = backend->stats().worker_wakeups.load();
+  for (int i = 0; i < 1'000; ++i) backend->set_active_workers(0);
+  std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(backend->stats().worker_wakeups.load(), baseline);
+
+  backend->set_active_workers(2);
+  EchoArgs args;
+  args.in = 5;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 6u);
+}
+
 TEST_F(ZcAsyncTest, NeverStartedBackendExecutesRegularly) {
   ZcAsyncConfig cfg;
   cfg.workers = 1;

@@ -433,6 +433,185 @@ TEST_F(ZcBatchedTest, EcallDirectionServesTrustedFunctions) {
   EXPECT_EQ(enclave_->transitions().ecall_count(), 0u);
 }
 
+// --- MPSC submit ring & coalesced wakes ------------------------------------
+
+// Every submit-plane combination the spec grammar allows: the table scan
+// (the historical claim path), the lock-free MPSC ring, and each with
+// coalesced flush wakes under a sleeping wait policy.
+struct SubmitPlane {
+  const char* tag;
+  bool ring;
+  bool coalesce;
+  GateWaitPolicy wait;
+};
+
+class ZcBatchedPlaneTest : public ZcBatchedTest,
+                           public ::testing::WithParamInterface<SubmitPlane> {
+ protected:
+  ZcBatchedConfig plane_config() {
+    ZcBatchedConfig cfg;
+    cfg.ring = GetParam().ring;
+    cfg.coalesce = GetParam().coalesce;
+    cfg.wait = GetParam().wait;
+    return cfg;
+  }
+};
+
+TEST_P(ZcBatchedPlaneTest, ConcurrentCallersAreAllServed) {
+  ZcBatchedConfig cfg = plane_config();
+  cfg.workers = 2;
+  cfg.batch = 4;
+  cfg.flush = 50us;
+  auto* backend = install(cfg);
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < 200; ++i) {
+          EchoArgs args;
+          args.in = static_cast<std::uint64_t>(t) * 10'000 + i;
+          enclave_->ocall(echo_id_, args);
+          if (args.out != args.in + 1) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(backend->stats().total_calls(), 800u);
+  if (GetParam().coalesce) {
+    // Sleeping callers released by flush broadcasts, not per-slot wakes.
+    EXPECT_GE(backend->stats().wake_batches.load(), 1u);
+  }
+}
+
+TEST_P(ZcBatchedPlaneTest, PauseResumeChurnLosesNoCalls) {
+  ZcBatchedConfig cfg = plane_config();
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  auto* backend = install(cfg);
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      backend->set_active_workers(m % 3);
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> issued{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 2; ++t) {
+      callers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < 400; ++i) {
+          EchoArgs args;
+          args.in = static_cast<std::uint64_t>(t) * 10'000 + i;
+          enclave_->ocall(echo_id_, args);
+          issued.fetch_add(1);
+          if (args.out != args.in + 1) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(backend->stats().total_calls(), issued.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SubmitPlanes, ZcBatchedPlaneTest,
+    ::testing::Values(
+        SubmitPlane{"table_yield", false, false, GateWaitPolicy::kYield},
+        SubmitPlane{"ring_yield", true, false, GateWaitPolicy::kYield},
+        SubmitPlane{"table_futex", false, false, GateWaitPolicy::kFutex},
+        SubmitPlane{"ring_futex", true, false, GateWaitPolicy::kFutex},
+        SubmitPlane{"table_coalesce", false, true, GateWaitPolicy::kFutex},
+        SubmitPlane{"ring_coalesce", true, true, GateWaitPolicy::kFutex},
+        SubmitPlane{"ring_coalesce_condvar", true, true,
+                    GateWaitPolicy::kCondvar}),
+    [](const auto& info) { return std::string(info.param.tag); });
+
+TEST_F(ZcBatchedTest, RingOptionsReachTheBackendFromTheSpecPlane) {
+  install_backend_spec(*enclave_,
+                       "zc_batched:workers=1;batch=4;flush_us=50;ring=on;"
+                       "coalesce=on;wait=futex;spin_us=0");
+  auto* backend = dynamic_cast<ZcBatchedBackend*>(&enclave_->backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(backend->config().ring);
+  EXPECT_TRUE(backend->config().coalesce);
+  EchoArgs args;
+  args.in = 1;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 2u);
+}
+
+TEST_F(ZcBatchedTest, TableClaimRotationSurvivesThe32BitBoundary) {
+  // Regression: the rotating worker-claim counter used to be a 32-bit
+  // fetch_add; planting it just below 2^32 forces the wrap mid-run.
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  auto* backend = install(cfg);
+  backend->set_claim_rotation_for_test((std::uint64_t{1} << 32) - 50);
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int t = 0; t < 2; ++t) {
+      callers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < 200; ++i) {
+          EchoArgs args;
+          args.in = static_cast<std::uint64_t>(t) * 10'000 + i;
+          enclave_->ocall(echo_id_, args);
+          if (args.out != args.in + 1) failures.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(backend->stats().total_calls(), 400u);
+}
+
+TEST_F(ZcBatchedTest, RedundantSetActiveWorkersWakesNobody) {
+  // Regression: set_active_workers re-issued kPause to already-paused
+  // workers on every call, turning each scheduler probe into a spurious
+  // wake for every parked worker.  Re-asserting the current command must
+  // leave worker_wakeups untouched.
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  auto* backend = install(cfg);
+
+  backend->set_active_workers(0);
+  while (backend->stats().worker_sleeps.load() < 2) {
+    std::this_thread::sleep_for(100us);
+  }
+  // Parked workers may still absorb the wakes of their own pause
+  // transition; let the count settle first.
+  std::this_thread::sleep_for(2ms);
+  const std::uint64_t baseline = backend->stats().worker_wakeups.load();
+  for (int i = 0; i < 1'000; ++i) backend->set_active_workers(0);
+  std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(backend->stats().worker_wakeups.load(), baseline);
+
+  // An actual transition still wakes and restores service.
+  backend->set_active_workers(2);
+  EchoArgs args;
+  args.in = 5;
+  EXPECT_EQ(enclave_->ocall(echo_id_, args), CallPath::kSwitchless);
+  EXPECT_EQ(args.out, 6u);
+  EXPECT_GT(backend->stats().worker_wakeups.load(), baseline);
+}
+
 TEST_F(ZcBatchedTest, StoppedBackendExecutesRegularly) {
   ZcBatchedConfig cfg;
   cfg.workers = 1;

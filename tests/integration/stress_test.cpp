@@ -542,6 +542,152 @@ TEST_F(StressTest, AsyncPauseResumeChurnWhileSubmittersRun) {
   stop.store(true);
 }
 
+TEST_F(StressTest, RingBatchedUnderPressure) {
+  // The lock-free MPSC submit ring instead of the slot-table CAS scan,
+  // under maximal producer contention plus pause/resume churn.
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 4;
+  cfg.flush = 50us;
+  cfg.ring = true;
+  auto backend = make_zc_batched_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  stop.store(true);
+}
+
+TEST_F(StressTest, RingCoalescedBatchedFutexUnderPressure) {
+  // ring=on + coalesce=on + wait=futex + spin_us=0: every blocked caller
+  // sleeps on the worker's shared gate and flushes release whole batches
+  // with one broadcast.  Sleeps and wakeups must still balance exactly.
+  install_backend_spec(*enclave_,
+                       "zc_batched:workers=2;batch=4;flush_us=50;ring=on;"
+                       "coalesce=on;wait=futex;spin_us=0");
+  hammer(scaled_threads(8), scaled_calls(2'000));
+  const BackendStats& stats = enclave_->backend().stats();
+  EXPECT_GT(stats.caller_sleeps.load(), 0u);
+  EXPECT_EQ(stats.caller_sleeps.load(), stats.caller_wakeups.load());
+  EXPECT_GT(enclave_->backend().stats_snapshot().wake_batches, 0u);
+}
+
+TEST_F(StressTest, RingCoalescedAsyncUnderPressure) {
+  install_backend_spec(
+      *enclave_, "zc_async:workers=2;queue=16;ring=on;coalesce=on");
+  hammer(scaled_threads(16), scaled_calls(2'000));
+}
+
+TEST_F(StressTest, RingAsyncPipelinedSubmittersWithChurn) {
+  // The async ring under its hardest shape: pipelined futures from every
+  // thread while workers pause and resume — ring tickets, straggler
+  // drains and the parked-wake protocol all contended at once.
+  ZcAsyncConfig cfg;
+  cfg.workers = 2;
+  cfg.queue = 8;
+  cfg.ring = true;
+  cfg.coalesce = true;
+  auto backend = make_zc_async_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  std::atomic<bool> stop{false};
+  std::jthread churner([&] {
+    unsigned m = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      raw->set_active_workers(m % (raw->max_workers() + 1));
+      ++m;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+
+  total_.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> expected{0};
+  std::atomic<int> corrupt{0};
+  const unsigned threads_n = scaled_threads(8);
+  const std::uint64_t calls = scaled_calls(1'000);
+  {
+    std::vector<std::jthread> submitters;
+    for (unsigned t = 0; t < threads_n; ++t) {
+      submitters.emplace_back([&, t] {
+        constexpr unsigned kDepth = 4;
+        std::mt19937_64 rng(t);
+        std::uint64_t local = 0;
+        std::vector<SumArgs> ring(kDepth);
+        std::vector<CallFuture> futures(kDepth);
+        auto check = [&](std::size_t k) {
+          futures[k].wait();
+          if (futures[k].valid() && ring[k].echoed != ring[k].value) {
+            corrupt.fetch_add(1);
+          }
+        };
+        for (std::uint64_t i = 0; i < calls; ++i) {
+          const std::size_t k = i % kDepth;
+          check(k);
+          ring[k].value = rng() % 1000;
+          ring[k].echoed = 0;
+          local += ring[k].value;
+          CallDesc desc;
+          desc.fn_id = sum_id_;
+          desc.args = &ring[k];
+          desc.args_size = sizeof(ring[k]);
+          futures[k] = raw->submit(desc);
+        }
+        for (std::size_t k = 0; k < kDepth; ++k) check(k);
+        expected.fetch_add(local);
+      });
+    }
+  }
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(total_.load(), expected.load());
+  EXPECT_EQ(raw->stats().total_calls(), calls * threads_n);
+}
+
+TEST_F(StressTest, RedundantCommandStormLeavesParkedWorkersAsleep) {
+  // Regression: a scheduler that re-issues the same set_active_workers
+  // value every probe used to wake every parked worker each time.  A
+  // 10k-call storm of redundant commands must leave worker_wakeups flat;
+  // the real transitions at the end still restore service.
+  ZcBatchedConfig cfg;
+  cfg.workers = 2;
+  cfg.batch = 2;
+  cfg.flush = 50us;
+  auto backend = make_zc_batched_backend(*enclave_, cfg);
+  auto* raw = backend.get();
+  enclave_->set_backend(std::move(backend));
+
+  raw->set_active_workers(0);
+  while (raw->stats().worker_sleeps.load() < 2) {
+    std::this_thread::sleep_for(100us);
+  }
+  std::this_thread::sleep_for(2ms);  // absorb the pause transition's wakes
+  const std::uint64_t baseline = raw->stats().worker_wakeups.load();
+  {
+    std::vector<std::jthread> stormers;
+    for (int t = 0; t < 4; ++t) {
+      stormers.emplace_back([&] {
+        for (int i = 0; i < 10'000; ++i) raw->set_active_workers(0);
+      });
+    }
+  }
+  std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(raw->stats().worker_wakeups.load(), baseline);
+
+  raw->set_active_workers(2);
+  hammer(scaled_threads(4), scaled_calls(500));
+}
+
 TEST_F(StressTest, BackendHotSwapBetweenBatches) {
   // Swapping backends between batches (never mid-flight) must preserve
   // every call under all four policies in sequence.
