@@ -32,6 +32,10 @@ struct BenchArgs {
   unsigned pipeline = 1;  ///< --pipeline=D: in-flight calls per caller
   /// --skew=zipf: zipf-ranked per-caller g durations (f/g drivers only).
   workload::CallerSkew skew = workload::CallerSkew::kUniform;
+  /// --seed=N: pins every randomized choice a bench makes (zipf rank
+  /// assignment, trace synthesis).  0 keeps the default randomized
+  /// behaviour; the effective seed lands in the JSONL rows either way.
+  std::uint64_t seed = 0;
   std::vector<std::string> backends;  ///< --backend=SPEC overrides
   std::string json_path;              ///< --json=FILE: JSONL result rows
 
@@ -60,6 +64,8 @@ struct BenchArgs {
                     << "' (expected uniform/zipf)\n";
           std::exit(2);
         }
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
         args.backends.emplace_back(argv[i] + 10);
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -68,6 +74,7 @@ struct BenchArgs {
         std::cout << "flags: --full (paper-scale) --smoke (CI lane)"
                   << " --no-pin --reps=N --pipeline=D (async backends)"
                   << " --skew=uniform|zipf (f/g caller mix)"
+                  << " --seed=N (pin randomized choices; 0 = randomize)"
                   << " --backend=SPEC (repeatable) --json=FILE\n\n"
                   << BackendRegistry::instance().help();
         std::exit(0);

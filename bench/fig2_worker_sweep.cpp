@@ -68,6 +68,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
     run.skew = args.skew;
     run.config = SynthConfig::kC1;
     run.pipeline = args.pipeline;
+    run.seed = args.seed;
 
     const SyntheticResult r =
         best_run(*enclave, ids, run, args.repetitions);
@@ -79,6 +80,7 @@ int run_spec_mode(const zc::bench::BenchArgs& args, std::uint64_t total_calls,
                  .set("backend", zc::bench::canonical_spec(mode.spec))
                  .set("pipeline", static_cast<std::uint64_t>(args.pipeline))
                  .set("skew", to_string(args.skew))
+                 .set("seed", r.seed)
                  .set("g_pauses", g_pauses)
                  .set("total_calls", total_calls)
                  .set("seconds", r.seconds)

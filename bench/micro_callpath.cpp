@@ -33,6 +33,7 @@
 #include <array>
 #include <atomic>
 #include <barrier>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -68,6 +69,7 @@ struct SpecRow {
   std::uint64_t switchless = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t steals = 0;
+  std::uint64_t seed = 0;  ///< effective run seed (zipf caller placement)
 };
 std::map<std::string, SpecRow>& spec_rows() {
   static std::map<std::string, SpecRow> rows;
@@ -121,6 +123,7 @@ std::map<std::string, PipelinedRow>& pipelined_rows() {
 
 unsigned g_pipeline = 1;
 workload::CallerSkew g_skew = workload::CallerSkew::kUniform;
+std::uint64_t g_seed = 0;  ///< --seed=N; 0 draws fresh (reported per row)
 
 // The --skew lane's regime (see BM_BackendSpec): callers at 2-shard
 // capacity, g durations that keep a shard's worker busy for several
@@ -518,17 +521,20 @@ void BM_BackendSpec(benchmark::State& state, const std::string& spec_text,
       run.skew = g_skew;
       run.config = workload::SynthConfig::kC1;
       run.pipeline = pipeline;
+      run.seed = g_seed;
       const BackendStats& bs = f.enclave->backend().stats();
       const std::uint64_t sl0 = bs.switchless_calls.load();
       const std::uint64_t fb0 = bs.fallback_calls.load();
       const std::uint64_t st0 = bs.steals.load();
       double seconds = 0;
       std::uint64_t calls = 0;
+      std::uint64_t seed = 0;
       for (auto _ : state) {
         const workload::SyntheticResult r =
             run_synthetic(*f.enclave, syn_ids, run);
         seconds += r.seconds;
         calls += r.f_calls + r.g_calls;
+        seed = r.seed;
       }
       state.SetItemsProcessed(static_cast<std::int64_t>(calls));
       state.SetLabel(spec.to_string() + "/skew=" + to_string(g_skew));
@@ -543,6 +549,7 @@ void BM_BackendSpec(benchmark::State& state, const std::string& spec_text,
       row.switchless = bs.switchless_calls.load() - sl0;
       row.fallbacks = bs.fallback_calls.load() - fb0;
       row.steals = bs.steals.load() - st0;
+      row.seed = seed;
       spec_rows()[row.backend] = row;
       return;
     }
@@ -631,6 +638,8 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      g_seed = std::strtoull(argv[i] + 7, nullptr, 0);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0 ||
@@ -689,6 +698,7 @@ int main(int argc, char** argv) {
                  .set("backend", row.backend)
                  .set("pipeline", static_cast<std::uint64_t>(row.pipeline))
                  .set("skew", row.skew)
+                 .set("seed", row.seed)
                  .set("tes", row.tes)
                  .set("iterations", row.iterations)
                  .set("calls", row.calls)

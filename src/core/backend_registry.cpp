@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/completion_gate.hpp"
+#include "core/recording_backend.hpp"
 #include "core/zc_async.hpp"
 #include "core/zc_backend.hpp"
 #include "core/zc_batched.hpp"
@@ -676,6 +677,40 @@ std::unique_ptr<CallBackend> build_intel(Enclave& enclave,
   return intel::make_intel_backend(enclave, cfg);
 }
 
+// The trace-recording tap: wraps the inner= backend (default no_sl) in a
+// RecordingBackend so any run's boundary traffic can be captured for the
+// replay plane (workload/replay.hpp).  Shares the sharded router's inner=
+// composition rules: the nested spec inherits the outer direction and must
+// not spell its own.
+std::unique_ptr<CallBackend> build_record(Enclave& enclave,
+                                          const BackendSpec& spec,
+                                          CpuUsageMeter* meter) {
+  const CallDirection direction = parse_direction(spec);
+  BackendSpec inner = BackendSpec::parse(spec.get_string("inner", "no_sl"));
+  if (inner.has("direction")) {
+    throw BackendSpecError(
+        "record: direction belongs to the outer spec; the inner backend "
+        "inherits it");
+  }
+  if (direction == CallDirection::kEcall) {
+    inner.options.push_back({"direction", {"ecall"}});
+    try {
+      BackendRegistry::instance().validate(inner.to_string());
+    } catch (const BackendSpecError&) {
+      throw BackendSpecError(
+          "record: direction=ecall needs an inner family with a "
+          "trusted-worker plane; '" + inner.key +
+          "' does not take direction");
+    }
+  }
+  RecordingBackend::Options options;
+  options.file = spec.get_string("file", "");
+  options.jsonl = spec.get_string("jsonl", "");
+  auto wrapped = BackendRegistry::instance().create(enclave, inner, meter);
+  return make_recording_backend(enclave, std::move(wrapped), direction,
+                                std::move(options));
+}
+
 std::unique_ptr<CallBackend> build_hotcalls(Enclave& enclave,
                                             const BackendSpec& spec,
                                             CpuUsageMeter* meter) {
@@ -735,6 +770,11 @@ BackendRegistry& BackendRegistry::instance() {
          {"workers", "queue", "pool_bytes", "wait", "ring", "coalesce",
           "direction"},
          build_zc_async});
+    r->register_backend(
+        {"record",
+         "trace-recording tap over any inner= backend (default no_sl); "
+         "dumps the capture to file=/jsonl= on stop",
+         {"inner", "file", "jsonl", "direction"}, build_record});
     return r;
   }();
   return *registry;

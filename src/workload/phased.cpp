@@ -1,6 +1,84 @@
 #include "workload/phased.hpp"
 
+#include <cmath>
+#include <functional>
+#include <random>
+
 namespace zc::workload {
+
+namespace {
+
+/// Sanity bound: a synthesizer config whose rate × duration explodes past
+/// this is a mistake (the encoded trace would be GBs), so fail loudly.
+constexpr std::uint64_t kMaxSynthRecords = 5'000'000;
+
+/// Samples a non-homogeneous Poisson process on [0, duration_ns) by
+/// thinning: candidates arrive at `rate_max`, and a candidate at t survives
+/// with probability rate(t)/rate_max.  `rate(t)` takes virtual seconds and
+/// returns calls/second; `assign_caller(t, rng)` picks the caller id.
+Trace synthesize(const SynthesizerConfig& cfg, double rate_max,
+                 const std::function<double(double)>& rate,
+                 const std::function<std::uint32_t(double, std::mt19937_64&)>&
+                     assign_caller) {
+  if (cfg.duration_ms <= 0 || rate_max <= 0 || cfg.names.empty() ||
+      cfg.callers == 0) {
+    throw TraceError(
+        "synthesizer config needs positive duration/rate, at least one call "
+        "name and at least one caller");
+  }
+  const double duration_s = cfg.duration_ms * 1e-3;
+  const double expected = rate_max * duration_s;
+  if (expected > static_cast<double>(kMaxSynthRecords)) {
+    throw TraceError("synthesizer config would generate ~" +
+                     std::to_string(static_cast<std::uint64_t>(expected)) +
+                     " records (cap " + std::to_string(kMaxSynthRecords) +
+                     "); lower base_rate_hz or duration_ms");
+  }
+
+  Trace trace;
+  trace.seed = cfg.seed;
+  std::vector<std::uint32_t> name_idx;
+  name_idx.reserve(cfg.names.size());
+  for (const std::string& n : cfg.names) {
+    name_idx.push_back(trace.intern(n));
+  }
+
+  std::mt19937_64 rng(cfg.seed);
+  std::exponential_distribution<double> gap(rate_max);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick_name(0,
+                                                       cfg.names.size() - 1);
+
+  double t = 0;
+  while (true) {
+    t += gap(rng);
+    if (t >= duration_s) break;
+    const double keep = rate(t) / rate_max;
+    if (unit(rng) >= keep) continue;
+    TraceRecord r;
+    r.vtime_ns = static_cast<std::uint64_t>(t * 1e9);
+    r.caller = assign_caller(t, rng);
+    r.name_idx = name_idx[pick_name(rng)];
+    // Work jitter ±50%; ~5% of calls carry 8× payloads (the long-tail
+    // transfers that stress frame pools and batched planes).
+    r.work_ns = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.work_ns) * (0.5 + unit(rng)));
+    const bool large = unit(rng) < 0.05;
+    r.in_size = cfg.in_size * (large ? 8 : 1);
+    r.out_size = cfg.out_size * (large ? 8 : 1);
+    r.args_size = 48;  // sizeof the replay args block, informational
+    r.direction = CallDirection::kOcall;
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+std::uint32_t uniform_caller(const SynthesizerConfig& cfg,
+                             std::mt19937_64& rng) {
+  return std::uniform_int_distribution<std::uint32_t>(0, cfg.callers - 1)(rng);
+}
+
+}  // namespace
 
 std::uint64_t PhasedPlan::periods_impl(double total, double tau) noexcept {
   if (tau <= 0 || total <= 0) return 0;
@@ -52,6 +130,91 @@ std::vector<std::uint64_t> PhasedPlan::schedule() const {
   out.reserve(n);
   for (std::uint64_t p = 0; p < n; ++p) out.push_back(ops_for_period(p));
   return out;
+}
+
+Trace synthesize_diurnal(const SynthesizerConfig& cfg,
+                         double trough_fraction) {
+  if (trough_fraction < 0 || trough_fraction > 1) {
+    throw TraceError("diurnal trough_fraction must be in [0, 1]");
+  }
+  const double duration_s = cfg.duration_ms * 1e-3;
+  const double base = cfg.base_rate_hz;
+  const double trough = trough_fraction;
+  return synthesize(
+      cfg, base,
+      [=](double t) {
+        // sin² day curve: trough at both ends, peak (= base) mid-trace.
+        const double s = std::sin(3.14159265358979323846 * t / duration_s);
+        return base * (trough + (1.0 - trough) * s * s);
+      },
+      [&cfg](double, std::mt19937_64& rng) {
+        return uniform_caller(cfg, rng);
+      });
+}
+
+Trace synthesize_burst_storm(const SynthesizerConfig& cfg, unsigned bursts,
+                             double burst_multiplier, double duty) {
+  if (bursts == 0 || burst_multiplier < 1.0 || duty <= 0 || duty > 1) {
+    throw TraceError(
+        "burst storm needs bursts >= 1, burst_multiplier >= 1 and duty in "
+        "(0, 1]");
+  }
+  const double duration_s = cfg.duration_ms * 1e-3;
+  const double slot = duration_s / bursts;   // one storm per slot
+  const double width = slot * duty;          // centred storm window
+  const double base = cfg.base_rate_hz;
+  return synthesize(
+      cfg, base * burst_multiplier,
+      [=](double t) {
+        const double in_slot = std::fmod(t, slot);
+        const double lo = (slot - width) / 2;
+        const bool storming = in_slot >= lo && in_slot < lo + width;
+        return storming ? base * burst_multiplier : base;
+      },
+      [&cfg](double, std::mt19937_64& rng) {
+        return uniform_caller(cfg, rng);
+      });
+}
+
+Trace synthesize_caller_churn(const SynthesizerConfig& cfg,
+                              unsigned generations) {
+  if (generations == 0) {
+    throw TraceError("caller churn needs at least one generation");
+  }
+  const double duration_s = cfg.duration_ms * 1e-3;
+  const double gen_len = duration_s / generations;
+  return synthesize(
+      cfg, cfg.base_rate_hz,
+      [&cfg](double) { return cfg.base_rate_hz; },
+      [&cfg, gen_len, generations](double t, std::mt19937_64& rng) {
+        // Ids are gen*callers + slot, so a new generation is a wholly new
+        // caller population — ids never come back.
+        auto gen = static_cast<std::uint32_t>(t / gen_len);
+        if (gen >= generations) gen = generations - 1;
+        return gen * cfg.callers + uniform_caller(cfg, rng);
+      });
+}
+
+Trace synthesize_phased(const PhasedPlan& plan, const SynthesizerConfig& cfg) {
+  const std::vector<std::uint64_t> sched = plan.schedule();
+  if (sched.empty()) {
+    throw TraceError("phased plan has no periods to synthesize from");
+  }
+  const double duration_s = cfg.duration_ms * 1e-3;
+  const double period_len = duration_s / static_cast<double>(sched.size());
+  const std::uint64_t peak = plan.peak_ops();
+  const double rate_max =
+      static_cast<double>(peak) / period_len;  // calls/s at the plateau
+  return synthesize(
+      cfg, rate_max,
+      [&sched, period_len](double t) {
+        auto p = static_cast<std::size_t>(t / period_len);
+        if (p >= sched.size()) p = sched.size() - 1;
+        return static_cast<double>(sched[p]) / period_len;
+      },
+      [&cfg](double, std::mt19937_64& rng) {
+        return uniform_caller(cfg, rng);
+      });
 }
 
 }  // namespace zc::workload

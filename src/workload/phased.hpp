@@ -1,4 +1,5 @@
-// Dynamic-workload generator (paper §V-C).
+// Dynamic-workload generator (paper §V-C) and production-shaped trace
+// synthesizers.
 //
 // The lmbench dynamic benchmark divides its runtime into three equal phases:
 //   (1) increasing frequency — the number of operations per period τ doubles
@@ -6,10 +7,20 @@
 //   (2) constant frequency — held at the phase-1 peak;
 //   (3) decreasing frequency — halved every τ.
 // This models the load the ZC scheduler must adapt to.
+//
+// The synthesize_* functions below turn shaped arrival-rate curves into
+// workload::Trace objects (non-homogeneous Poisson arrivals, sampled by
+// thinning from a seeded mt19937_64), so the replay driver can subject any
+// backend spec to diurnal load, burst storms, caller churn or the paper's
+// phased curve without a live recording.  Same seed → same trace, byte for
+// byte — which is how the golden trace under tests/data/ was made.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "workload/trace.hpp"
 
 namespace zc::workload {
 
@@ -38,5 +49,53 @@ struct PhasedPlan {
   /// Full schedule as a vector (one entry per period).
   std::vector<std::uint64_t> schedule() const;
 };
+
+/// Shared knobs for the trace synthesizers.  Every derived quantity —
+/// arrival times, caller assignment, per-call work/size jitter — comes from
+/// one mt19937_64 seeded with `seed`, so a config fully determines the
+/// trace (the seed is stored in the trace header as provenance).
+struct SynthesizerConfig {
+  std::uint64_t seed = 1;
+  /// Virtual length of the trace, in milliseconds of trace time (replay
+  /// compresses or stretches it via ReplayConfig::time_scale).
+  double duration_ms = 50.0;
+  /// Mean arrival rate of the *baseline* (calls per virtual second); the
+  /// shape functions modulate around it.
+  double base_rate_hz = 20'000.0;
+  /// Concurrent simulated callers arrivals are spread over.
+  unsigned callers = 8;
+  /// Mean per-call work hint; jittered ±50% per record.
+  std::uint32_t work_ns = 2'000;
+  /// Payload sizes; ~5% of calls are 8× "large" transfers.
+  std::uint32_t in_size = 64;
+  std::uint32_t out_size = 64;
+  /// Call names, interned into the trace and assigned uniformly.
+  std::vector<std::string> names = {"synthetic_g"};
+};
+
+/// Sinusoidal day curve: the rate rises from `trough_fraction` × base to
+/// base at mid-trace and back.  One virtual "day" per trace.
+Trace synthesize_diurnal(const SynthesizerConfig& cfg,
+                         double trough_fraction = 0.2);
+
+/// Baseline traffic with `bursts` evenly spaced storm windows during which
+/// the rate is `burst_multiplier` × base; each window spans `duty` of its
+/// slot.  The open-loop collapse regression replays this against a plane
+/// sized below the storm rate.
+Trace synthesize_burst_storm(const SynthesizerConfig& cfg,
+                             unsigned bursts = 4,
+                             double burst_multiplier = 20.0,
+                             double duty = 0.1);
+
+/// Constant rate, churning caller population: the caller set is replaced
+/// `generations` times over the trace (ids never reuse), so affinity-keyed
+/// policies see arrivals from callers they have never met.
+Trace synthesize_caller_churn(const SynthesizerConfig& cfg,
+                              unsigned generations = 4);
+
+/// The paper's §V-C double/hold/halve curve as a trace: period p of `plan`
+/// contributes ops_for_period(p) expected arrivals, mapped onto
+/// cfg.duration_ms.  cfg.base_rate_hz is ignored (the plan sets the rate).
+Trace synthesize_phased(const PhasedPlan& plan, const SynthesizerConfig& cfg);
 
 }  // namespace zc::workload

@@ -1,7 +1,10 @@
 #include "workload/synthetic.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <numeric>
+#include <random>
 #include <thread>
 
 #include "common/cpu_meter.hpp"
@@ -47,6 +50,15 @@ std::uint64_t zipf_g_pauses(std::uint64_t g_pauses, unsigned thread,
                             unsigned threads) noexcept {
   if (threads == 0) return g_pauses;
   return g_pauses * threads / (thread + 1);
+}
+
+std::vector<unsigned> zipf_rank_permutation(unsigned threads,
+                                            std::uint64_t seed) {
+  std::vector<unsigned> ranks(threads);
+  std::iota(ranks.begin(), ranks.end(), 0u);
+  std::mt19937_64 rng(seed);
+  std::shuffle(ranks.begin(), ranks.end(), rng);
+  return ranks;
 }
 
 const char* to_string(SynthConfig c) noexcept {
@@ -110,6 +122,18 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
   const unsigned threads = run.enclave_threads == 0 ? 1 : run.enclave_threads;
   const std::uint64_t per_thread = run.total_calls / threads;
 
+  // Resolve the run's effective seed: an explicit --seed pins every
+  // randomized choice; the default draws fresh entropy, and the resolved
+  // value is reported so any run can be replayed exactly.
+  std::uint64_t seed = run.seed;
+  if (seed == 0) {
+    std::random_device rd;
+    seed = (static_cast<std::uint64_t>(rd()) << 32 | rd()) | 1;
+  }
+  const std::vector<unsigned> zipf_ranks =
+      run.skew == CallerSkew::kZipf ? zipf_rank_permutation(threads, seed)
+                                    : std::vector<unsigned>();
+
   const BackendStats& stats = enclave.backend().stats();
   const std::uint64_t sl0 = stats.switchless_calls.load();
   const std::uint64_t fb0 = stats.fallback_calls.load();
@@ -127,10 +151,11 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
       if (sim.pin_threads) {
         pin_current_thread_to_window(sim.pin_base_cpu, sim.logical_cpus);
       }
-      // Per-caller g duration: uniform, or zipf-ranked by thread index.
+      // Per-caller g duration: uniform, or zipf-ranked through the seeded
+      // permutation (which thread is heavy is a per-seed choice).
       const std::uint64_t g_pauses =
           run.skew == CallerSkew::kZipf
-              ? zipf_g_pauses(run.g_pauses, t, threads)
+              ? zipf_g_pauses(run.g_pauses, zipf_ranks[t], threads)
               : run.g_pauses;
       sync.arrive_and_wait();  // start line
       // One ecall to "enter the enclave", then issue the ocall mix.
@@ -204,6 +229,7 @@ SyntheticResult run_synthetic(Enclave& enclave, const SyntheticOcalls& ids,
   result.switchless = stats.switchless_calls.load() - sl0;
   result.fallbacks = stats.fallback_calls.load() - fb0;
   result.regular = stats.regular_calls.load() - rg0;
+  result.seed = seed;
   return result;
 }
 

@@ -79,6 +79,15 @@ const char* to_string(CallerSkew skew) noexcept;
 std::uint64_t zipf_g_pauses(std::uint64_t g_pauses, unsigned thread,
                             unsigned threads) noexcept;
 
+/// The rank each caller thread holds under CallerSkew::kZipf: a
+/// Fisher–Yates permutation of 0..threads-1 drawn from mt19937_64(seed),
+/// so *which* thread is the heavy caller is a seeded choice instead of
+/// always thread 0 (affinity-keyed shard policies would otherwise see the
+/// same lopsided placement every run).  `seed` is the resolved, nonzero
+/// effective seed; the same seed always yields the same placement.
+std::vector<unsigned> zipf_rank_permutation(unsigned threads,
+                                            std::uint64_t seed);
+
 struct SyntheticRunConfig {
   std::uint64_t total_calls = 100'000;  ///< n = α + β with α = 3β
   unsigned enclave_threads = 8;         ///< paper: 8 in-enclave threads
@@ -90,6 +99,11 @@ struct SyntheticRunConfig {
   /// async-capable backend (`zc_async:`), otherwise the run degrades to
   /// the synchronous path — drivers check workload::async_plane() first.
   unsigned pipeline = 1;
+  /// Seed for the run's randomized choices (today: the zipf rank
+  /// permutation).  0 — the default — draws a fresh seed per run; the
+  /// effective value lands in SyntheticResult::seed either way, so a
+  /// skewed run can always be reproduced from its JSONL row.
+  std::uint64_t seed = 0;
 };
 
 struct SyntheticResult {
@@ -99,6 +113,7 @@ struct SyntheticResult {
   std::uint64_t switchless = 0;    ///< backend counter delta
   std::uint64_t fallbacks = 0;
   std::uint64_t regular = 0;
+  std::uint64_t seed = 0;          ///< effective seed (never 0)
 };
 
 /// Runs the synthetic benchmark against the enclave's installed backend.

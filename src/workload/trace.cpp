@@ -1,0 +1,231 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace zc::workload {
+
+namespace {
+
+// Little-endian primitive writers/readers.  The codec never memcpy's whole
+// structs, so padding and host endianness can't leak into the format.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += 4;
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+  }
+
+  std::uint64_t u64(const char* what) {
+    const std::uint64_t lo = u32(what);
+    const std::uint64_t hi = u32(what);
+    return lo | hi << 32;
+  }
+
+  std::string bytes(std::size_t n, const char* what) {
+    need(n, what);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (size_ - pos_ < n) {
+      throw TraceError(std::string("trace file truncated while reading ") +
+                       what + " (need " + std::to_string(n) + " bytes, " +
+                       std::to_string(size_ - pos_) + " left)");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t trace_fnv1a(const void* data, std::size_t n,
+                          std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint32_t Trace::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+std::uint64_t Trace::duration_ns() const noexcept {
+  return records.empty() ? 0 : records.back().vtime_ns;
+}
+
+unsigned Trace::caller_count() const {
+  std::set<std::uint32_t> callers;
+  for (const TraceRecord& r : records) callers.insert(r.caller);
+  return static_cast<unsigned>(callers.size());
+}
+
+std::uint64_t Trace::digest() const noexcept {
+  // Digesting the canonical encoding makes "same digest" and "same bytes
+  // on disk" the same statement — what the golden-trace suite pins.
+  const std::vector<std::uint8_t> bytes = encode();
+  return trace_fnv1a(bytes.data(), bytes.size());
+}
+
+// Layout (all little-endian):
+//   header (32 bytes): magic u32, version u32, name_count u32, reserved u32,
+//                      record_count u64, seed u64
+//   name table: per name u32 length + raw bytes
+//   records (40 bytes each): vtime_ns u64, work_ns u64, caller u32,
+//                            name_idx u32, args_size u32, in_size u32,
+//                            out_size u32, direction u8, pad u8[3]
+std::vector<std::uint8_t> Trace::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kTraceHeaderBytes + records.size() * kTraceRecordBytes);
+  put_u32(out, kTraceMagic);
+  put_u32(out, kTraceVersion);
+  put_u32(out, static_cast<std::uint32_t>(names.size()));
+  put_u32(out, 0);
+  put_u64(out, records.size());
+  put_u64(out, seed);
+  for (const std::string& name : names) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  for (const TraceRecord& r : records) {
+    put_u64(out, r.vtime_ns);
+    put_u64(out, r.work_ns);
+    put_u32(out, r.caller);
+    put_u32(out, r.name_idx);
+    put_u32(out, r.args_size);
+    put_u32(out, r.in_size);
+    put_u32(out, r.out_size);
+    out.push_back(r.direction == CallDirection::kEcall ? 1 : 0);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+  }
+  return out;
+}
+
+Trace Trace::decode(const void* data, std::size_t size) {
+  Reader in(static_cast<const std::uint8_t*>(data), size);
+  const std::uint32_t magic = in.u32("the header magic");
+  if (magic != kTraceMagic) {
+    throw TraceError("not a ZC trace file (bad magic)");
+  }
+  const std::uint32_t version = in.u32("the format version");
+  if (version == 0 || version > kTraceVersion) {
+    throw TraceError("trace format version " + std::to_string(version) +
+                     " is not supported by this build (it reads versions 1.." +
+                     std::to_string(kTraceVersion) +
+                     "); re-record the trace or upgrade");
+  }
+  const std::uint32_t name_count = in.u32("the name count");
+  in.u32("the reserved header field");
+  const std::uint64_t record_count = in.u64("the record count");
+  Trace trace;
+  trace.seed = in.u64("the synthesizer seed");
+  trace.names.reserve(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    const std::uint32_t len = in.u32("a name length");
+    trace.names.push_back(in.bytes(len, "a call name"));
+  }
+  if (record_count > in.remaining() / kTraceRecordBytes) {
+    throw TraceError("trace file truncated: header promises " +
+                     std::to_string(record_count) + " records but only " +
+                     std::to_string(in.remaining() / kTraceRecordBytes) +
+                     " fit in the remaining bytes");
+  }
+  trace.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    TraceRecord r;
+    r.vtime_ns = in.u64("a record");
+    r.work_ns = in.u64("a record");
+    r.caller = in.u32("a record");
+    r.name_idx = in.u32("a record");
+    if (r.name_idx >= trace.names.size()) {
+      throw TraceError("trace record " + std::to_string(i) +
+                       " names call #" + std::to_string(r.name_idx) +
+                       " but the name table has only " +
+                       std::to_string(trace.names.size()) + " entries");
+    }
+    r.args_size = in.u32("a record");
+    r.in_size = in.u32("a record");
+    r.out_size = in.u32("a record");
+    const std::string dir = in.bytes(4, "a record");
+    const auto d = static_cast<unsigned char>(dir[0]);
+    if (d > 1) {
+      throw TraceError("trace record " + std::to_string(i) +
+                       " has an unknown call direction");
+    }
+    r.direction = d == 1 ? CallDirection::kEcall : CallDirection::kOcall;
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+void Trace::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceError("cannot open trace file '" + path + "' to write");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw TraceError("short write to trace file '" + path + "'");
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("cannot open trace file '" + path + "'");
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return decode(bytes.data(), bytes.size());
+}
+
+void Trace::export_jsonl(std::ostream& out) const {
+  out << "{\"trace\":\"header\",\"version\":" << kTraceVersion
+      << ",\"seed\":" << seed << ",\"records\":" << records.size()
+      << ",\"callers\":" << caller_count() << ",\"duration_ns\":"
+      << duration_ns() << ",\"digest\":" << digest() << "}\n";
+  for (const TraceRecord& r : records) {
+    out << "{\"name\":\"" << names[r.name_idx] << "\",\"direction\":\""
+        << to_string(r.direction) << "\",\"caller\":" << r.caller
+        << ",\"vtime_ns\":" << r.vtime_ns << ",\"work_ns\":" << r.work_ns
+        << ",\"args_size\":" << r.args_size << ",\"in_size\":" << r.in_size
+        << ",\"out_size\":" << r.out_size << "}\n";
+  }
+}
+
+}  // namespace zc::workload

@@ -1,0 +1,107 @@
+// Call-trace capture: the record half of the record/replay plane.
+//
+// A Trace is a compact, versioned, byte-stable description of one run's
+// boundary traffic: for every ocall/ecall the call name, direction, caller
+// id, virtual arrival timestamp, payload sizes and an in-call duration
+// hint.  Traces come from two sources — a TraceRecorder tapping a live
+// CallBackend (see core/recording_backend.hpp and the `record:` registry
+// family) or the phased synthesizers (workload/phased.hpp) — and feed the
+// ReplayDriver (workload/replay.hpp), which turns identical captured
+// traffic into a deterministic differential-testing primitive over every
+// `--backend=SPEC` in the registry.
+//
+// The binary format is explicit little-endian (portable across the gcc and
+// clang CI hosts), starts with a magic/version header so foreign or future
+// files are rejected in the user's terms, and round-trips byte-for-byte
+// through encode()/decode().  A JSONL export keeps traces greppable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sgx/backend.hpp"
+
+namespace zc::workload {
+
+/// Thrown for unreadable trace files: wrong magic, newer format version,
+/// truncation, or out-of-range indices.  The message says which.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One captured boundary call.  `name_idx` points into Trace::names — call
+/// names are interned so a million-record trace stores each name once.
+struct TraceRecord {
+  std::uint64_t vtime_ns = 0;  ///< virtual arrival time since trace start
+  std::uint64_t work_ns = 0;   ///< in-call duration hint (g-duration)
+  std::uint32_t caller = 0;    ///< dense caller id (thread / simulated user)
+  std::uint32_t name_idx = 0;  ///< into Trace::names
+  std::uint32_t args_size = 0;
+  std::uint32_t in_size = 0;   ///< [in] payload bytes (trusted -> untrusted)
+  std::uint32_t out_size = 0;  ///< [out] payload bytes (untrusted -> trusted)
+  CallDirection direction = CallDirection::kOcall;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// A full captured or synthesized workload.
+struct Trace {
+  /// Synthesizer seed (0 for traces recorded from a live run).  Carried in
+  /// the header so a synthesized trace documents its own provenance.
+  std::uint64_t seed = 0;
+  std::vector<std::string> names;
+  std::vector<TraceRecord> records;
+
+  /// Index of `name` in `names`, interning it on first use.
+  std::uint32_t intern(std::string_view name);
+
+  /// Virtual span of the trace: the last record's arrival time (records
+  /// are kept in arrival order by both the recorder and the synthesizers).
+  std::uint64_t duration_ns() const noexcept;
+
+  /// Number of distinct caller ids.
+  unsigned caller_count() const;
+
+  /// Deterministic content digest (names + seed + every record field).
+  /// Two traces with equal digests carry the same workload; the golden
+  /// trace's digest is pinned by the replay-equivalence suite.
+  std::uint64_t digest() const noexcept;
+
+  // --- Versioned binary codec ----------------------------------------------
+
+  /// Serializes to the explicit little-endian format (see trace.cpp for
+  /// the layout).  decode(encode()) round-trips to an equal Trace, and
+  /// encode(decode(bytes)) reproduces `bytes` exactly.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses an encoded trace; throws TraceError on bad magic, a version
+  /// newer than kTraceVersion, truncation, or dangling name indices.
+  static Trace decode(const void* data, std::size_t size);
+
+  /// File convenience wrappers around encode()/decode(); TraceError on IO.
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+  /// One JSON object per record (plus a header line), for offline tooling.
+  void export_jsonl(std::ostream& out) const;
+
+  bool operator==(const Trace&) const = default;
+};
+
+/// Format constants, exposed for the codec tests.
+inline constexpr std::uint32_t kTraceMagic = 0x52544353u;  ///< "SCTR" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 32;
+inline constexpr std::size_t kTraceRecordBytes = 40;
+
+/// FNV-1a over `n` bytes — the digest primitive shared by the trace
+/// content digest and the replay result digest.
+std::uint64_t trace_fnv1a(const void* data, std::size_t n,
+                          std::uint64_t seed = 1469598103934665603ull) noexcept;
+
+}  // namespace zc::workload

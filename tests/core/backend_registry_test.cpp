@@ -436,6 +436,49 @@ TEST_F(BackendRegistryTest, NestedInnerSpecsAreValidated) {
   }
 }
 
+TEST_F(BackendRegistryTest, RecordFamilyWrapsAnyInnerSpec) {
+  auto& registry = BackendRegistry::instance();
+  // The trace-recording tap composes over any family, both directions.
+  EXPECT_NE(registry.create(*enclave_, "record"), nullptr);  // inner=no_sl
+  EXPECT_NE(registry.create(*enclave_, "record:inner=(zc:workers=2)"),
+            nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_,
+                "record:inner=(zc_sharded:shards=2;inner=(zc_batched:"
+                "workers=1;batch=4))"),
+            nullptr);
+  EXPECT_NE(registry.create(*enclave_, "record:direction=ecall"), nullptr);
+  // The composed name surfaces the wrapped backend.
+  const auto tap = registry.create(*enclave_, "record:inner=(zc:workers=1)");
+  EXPECT_EQ(std::string(tap->name()), "record[zc]");
+
+  // Unknown inner families and options fail like any nested spec.
+  EXPECT_THROW(registry.validate("record:inner=(warp_drive)"),
+               BackendSpecError);
+  EXPECT_THROW(registry.validate("record:inner=(zc:rbf=7)"),
+               BackendSpecError);
+  // The inner spec inherits the outer direction and must not spell its
+  // own (same contract as the sharded router).
+  try {
+    registry.create(*enclave_, "record:inner=(zc:direction=ecall)");
+    FAIL() << "inner direction accepted";
+  } catch (const BackendSpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("outer spec"), std::string::npos)
+        << e.what();
+  }
+  // Recording the ecall plane needs an inner family that can serve it;
+  // hotcalls cannot, and the error says so in the user's terms.
+  try {
+    registry.create(*enclave_,
+                    "record:direction=ecall;inner=(hotcalls:workers=1)");
+    FAIL() << "ecall recording over hotcalls accepted";
+  } catch (const BackendSpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("trusted-worker plane"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(BackendRegistryTest, AffinityLoadOptionsAreValidated) {
   auto& registry = BackendRegistry::instance();
   EXPECT_NE(registry.create(*enclave_, "zc_sharded:policy=affinity_load"),

@@ -1,7 +1,8 @@
 // Doc-snippet conformance: every spec string quoted in
-// docs/backend-specs.md (fenced blocks tagged `spec`) must parse and
-// validate against the live registry, and every registered backend
-// family must have at least one runnable example there.  This is the
+// docs/backend-specs.md, docs/architecture.md and docs/trace-replay.md
+// (fenced blocks tagged `spec`) must parse and validate against the live
+// registry, and every registered backend family must have at least one
+// runnable example in the spec reference.  This is the
 // machine check that keeps the documentation from drifting away from
 // BackendSpec::parse and the registered option lists.
 //
@@ -57,9 +58,10 @@ std::vector<std::string> extract_doc_specs(const std::string& path) {
 
 const std::string kSpecsDoc = std::string(ZC_DOCS_DIR) + "/backend-specs.md";
 const std::string kArchDoc = std::string(ZC_DOCS_DIR) + "/architecture.md";
+const std::string kTraceDoc = std::string(ZC_DOCS_DIR) + "/trace-replay.md";
 
 TEST(DocSpecsTest, EveryQuotedSpecValidatesAgainstTheRegistry) {
-  for (const std::string& doc : {kSpecsDoc, kArchDoc}) {
+  for (const std::string& doc : {kSpecsDoc, kArchDoc, kTraceDoc}) {
     const auto specs = extract_doc_specs(doc);
     ASSERT_FALSE(specs.empty())
         << doc << " has no ```spec blocks — the reference lost its "

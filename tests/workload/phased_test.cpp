@@ -88,5 +88,123 @@ TEST(PhasedPlan, TinyPlanDegradesGracefully) {
   EXPECT_EQ(plan.ops_for_period(1), 10u);
 }
 
+// --- Trace synthesizers ------------------------------------------------------
+
+SynthesizerConfig synth_config() {
+  SynthesizerConfig cfg;
+  cfg.seed = 99;
+  cfg.duration_ms = 40.0;
+  cfg.base_rate_hz = 20'000.0;
+  cfg.callers = 4;
+  return cfg;
+}
+
+TEST(Synthesizers, SameSeedSameTraceDifferentSeedDifferentTrace) {
+  const SynthesizerConfig cfg = synth_config();
+  const Trace a = synthesize_burst_storm(cfg);
+  const Trace b = synthesize_burst_storm(cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.encode(), b.encode());
+  SynthesizerConfig other = cfg;
+  other.seed = 100;
+  EXPECT_NE(a.digest(), synthesize_burst_storm(other).digest());
+}
+
+TEST(Synthesizers, RecordsArriveInVtimeOrderWithValidIndices) {
+  for (const Trace& t :
+       {synthesize_diurnal(synth_config()),
+        synthesize_burst_storm(synth_config()),
+        synthesize_caller_churn(synth_config())}) {
+    ASSERT_FALSE(t.records.empty());
+    EXPECT_EQ(t.seed, 99u);
+    std::uint64_t prev = 0;
+    for (const TraceRecord& r : t.records) {
+      EXPECT_GE(r.vtime_ns, prev);
+      prev = r.vtime_ns;
+      ASSERT_LT(r.name_idx, t.names.size());
+    }
+  }
+}
+
+TEST(Synthesizers, DiurnalPeaksMidTrace) {
+  const Trace t = synthesize_diurnal(synth_config(), /*trough_fraction=*/0.1);
+  const std::uint64_t span = static_cast<std::uint64_t>(40.0 * 1e6);
+  std::uint64_t first_third = 0, mid_third = 0;
+  for (const TraceRecord& r : t.records) {
+    if (r.vtime_ns < span / 3) ++first_third;
+    if (r.vtime_ns >= span / 3 && r.vtime_ns < 2 * span / 3) ++mid_third;
+  }
+  EXPECT_GT(mid_third, first_third * 2) << "day curve should peak mid-trace";
+}
+
+TEST(Synthesizers, BurstStormConcentratesArrivalsInStormWindows) {
+  const SynthesizerConfig cfg = synth_config();
+  const Trace t = synthesize_burst_storm(cfg, /*bursts=*/2,
+                                         /*burst_multiplier=*/20.0,
+                                         /*duty=*/0.1);
+  // Two slots of 20 ms; each 2 ms storm window sits centred at 9-11 ms
+  // into its slot.  With a 20x multiplier, the 10% of time spent storming
+  // must hold the majority of arrivals.
+  std::uint64_t storm = 0;
+  for (const TraceRecord& r : t.records) {
+    const std::uint64_t in_slot = r.vtime_ns % 20'000'000;
+    if (in_slot >= 9'000'000 && in_slot < 11'000'000) ++storm;
+  }
+  EXPECT_GT(storm * 2, t.records.size())
+      << storm << " of " << t.records.size() << " arrivals in storms";
+}
+
+TEST(Synthesizers, CallerChurnReplacesThePopulation) {
+  const SynthesizerConfig cfg = synth_config();
+  const Trace t = synthesize_caller_churn(cfg, /*generations=*/3);
+  EXPECT_GT(t.caller_count(), cfg.callers);
+  EXPECT_LE(t.caller_count(), cfg.callers * 3);
+  // Early records come from generation 0, late ones from generation 2.
+  EXPECT_LT(t.records.front().caller, cfg.callers);
+  EXPECT_GE(t.records.back().caller, 2 * cfg.callers);
+}
+
+TEST(Synthesizers, PhasedCurveFollowsThePlan) {
+  PhasedPlan plan;
+  plan.tau_seconds = 1.0;
+  plan.total_seconds = 12.0;
+  plan.initial_ops = 50;
+  SynthesizerConfig cfg = synth_config();
+  const Trace t = synthesize_phased(plan, cfg);
+  ASSERT_FALSE(t.records.empty());
+  // Phase 2 (the plateau) must be denser than the first phase-1 period.
+  const std::uint64_t period_ns =
+      static_cast<std::uint64_t>(40.0 * 1e6) / 12;
+  std::uint64_t first_period = 0, plateau_period = 0;
+  for (const TraceRecord& r : t.records) {
+    if (r.vtime_ns < period_ns) ++first_period;
+    if (r.vtime_ns >= 5 * period_ns && r.vtime_ns < 6 * period_ns) {
+      ++plateau_period;
+    }
+  }
+  EXPECT_GT(plateau_period, first_period);
+}
+
+TEST(Synthesizers, RejectsDegenerateConfigs) {
+  SynthesizerConfig cfg = synth_config();
+  cfg.duration_ms = 0;
+  EXPECT_THROW(synthesize_diurnal(cfg), TraceError);
+  cfg = synth_config();
+  cfg.names.clear();
+  EXPECT_THROW(synthesize_burst_storm(cfg), TraceError);
+  cfg = synth_config();
+  cfg.callers = 0;
+  EXPECT_THROW(synthesize_caller_churn(cfg), TraceError);
+  cfg = synth_config();
+  cfg.base_rate_hz = 1e12;  // would blow the record cap
+  EXPECT_THROW(synthesize_diurnal(cfg), TraceError);
+  EXPECT_THROW(synthesize_diurnal(synth_config(), -0.5), TraceError);
+  EXPECT_THROW(synthesize_burst_storm(synth_config(), 0), TraceError);
+  EXPECT_THROW(synthesize_caller_churn(synth_config(), 0), TraceError);
+  EXPECT_THROW(synthesize_phased(PhasedPlan{.total_seconds = 0},
+                                 synth_config()),
+               TraceError);
+}
+
 }  // namespace
 }  // namespace zc::workload

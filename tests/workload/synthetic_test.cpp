@@ -149,5 +149,29 @@ TEST_F(SyntheticTest, ZeroThreadsIsTreatedAsOne) {
   EXPECT_EQ(result.f_calls + result.g_calls, 100u);
 }
 
+TEST_F(SyntheticTest, ZipfRankPermutationIsSeededAndValid) {
+  const auto a = zipf_rank_permutation(8, 42);
+  const auto b = zipf_rank_permutation(8, 42);
+  EXPECT_EQ(a, b);  // same seed, same heavy-caller placement
+  EXPECT_NE(a, zipf_rank_permutation(8, 43));
+  // Always a permutation of 0..threads-1.
+  auto sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (unsigned i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_TRUE(zipf_rank_permutation(0, 1).empty());
+}
+
+TEST_F(SyntheticTest, RunsReportAnEffectiveNonzeroSeed) {
+  SyntheticRunConfig run;
+  run.total_calls = 100;
+  run.enclave_threads = 2;
+  run.skew = CallerSkew::kZipf;
+  // Default (seed=0) draws fresh entropy but always reports the value.
+  EXPECT_NE(run_synthetic(*enclave_, ids_, run).seed, 0u);
+  // A pinned seed is passed through verbatim.
+  run.seed = 0xfeedull;
+  EXPECT_EQ(run_synthetic(*enclave_, ids_, run).seed, 0xfeedull);
+}
+
 }  // namespace
 }  // namespace zc::workload

@@ -1,0 +1,215 @@
+// Trace codec property tests: randomized encode/decode round trips and
+// rejection of corrupt or foreign files in the user's terms.
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+
+namespace zc::workload {
+namespace {
+
+Trace random_trace(std::mt19937_64& rng) {
+  Trace t;
+  t.seed = rng();
+  std::uniform_int_distribution<int> name_count(1, 6);
+  std::uniform_int_distribution<int> name_len(1, 24);
+  std::uniform_int_distribution<int> ch('a', 'z');
+  const int names = name_count(rng);
+  for (int i = 0; i < names; ++i) {
+    std::string name;
+    const int len = name_len(rng);
+    for (int j = 0; j < len; ++j) name += static_cast<char>(ch(rng));
+    name += std::to_string(i);  // ensure uniqueness for intern()
+    t.intern(name);
+  }
+  std::uniform_int_distribution<int> record_count(0, 200);
+  std::uniform_int_distribution<std::uint32_t> u32val;
+  std::uniform_int_distribution<std::uint64_t> u64val;
+  const int records = record_count(rng);
+  std::uint64_t vtime = 0;
+  for (int i = 0; i < records; ++i) {
+    TraceRecord r;
+    vtime += u32val(rng) % 1'000'000;
+    r.vtime_ns = vtime;
+    r.work_ns = u64val(rng) % 10'000'000;
+    r.caller = u32val(rng) % 64;
+    r.name_idx = u32val(rng) % static_cast<std::uint32_t>(t.names.size());
+    r.args_size = u32val(rng) % 256;
+    r.in_size = u32val(rng) % 8192;
+    r.out_size = u32val(rng) % 8192;
+    r.direction = (u32val(rng) & 1) != 0 ? CallDirection::kEcall
+                                         : CallDirection::kOcall;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceCodec, RandomizedRoundTripAndReencodeByteEquality) {
+  std::mt19937_64 rng(0xC0DEC);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Trace original = random_trace(rng);
+    const std::vector<std::uint8_t> bytes = original.encode();
+    const Trace decoded = Trace::decode(bytes.data(), bytes.size());
+    EXPECT_EQ(original, decoded) << "iteration " << iter;
+    // encode(decode(bytes)) must reproduce the input bytes exactly — the
+    // format has one canonical serialization.
+    EXPECT_EQ(bytes, decoded.encode()) << "iteration " << iter;
+    EXPECT_EQ(original.digest(), decoded.digest());
+  }
+}
+
+TEST(TraceCodec, HeaderAndRecordSizesArePinned) {
+  Trace t;
+  t.intern("g");
+  TraceRecord r;
+  r.name_idx = 0;
+  t.records.push_back(r);
+  // 32-byte header, u32 len + 1 name byte, 40-byte record.  A layout
+  // change is a format change and must bump kTraceVersion.
+  EXPECT_EQ(t.encode().size(), kTraceHeaderBytes + 4 + 1 + kTraceRecordBytes);
+}
+
+TEST(TraceCodec, RejectsBadMagic) {
+  Trace t;
+  std::vector<std::uint8_t> bytes = t.encode();
+  bytes[0] ^= 0xFF;
+  try {
+    Trace::decode(bytes.data(), bytes.size());
+    FAIL() << "bad magic accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a ZC trace file"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceCodec, RejectsNewerVersionInUsersTerms) {
+  Trace t;
+  std::vector<std::uint8_t> bytes = t.encode();
+  bytes[4] = 2;  // version field, little-endian
+  try {
+    Trace::decode(bytes.data(), bytes.size());
+    FAIL() << "future version accepted";
+  } catch (const TraceError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1..1"), std::string::npos) << msg;
+  }
+  bytes[4] = 0;
+  EXPECT_THROW(Trace::decode(bytes.data(), bytes.size()), TraceError);
+}
+
+TEST(TraceCodec, RejectsTruncationAtEveryBoundary) {
+  std::mt19937_64 rng(0x7E57);
+  Trace t = random_trace(rng);
+  while (t.records.empty()) t = random_trace(rng);
+  const std::vector<std::uint8_t> bytes = t.encode();
+  // Every strict prefix must be rejected, never crash or mis-parse.  Step
+  // a few bytes at a time to keep the sweep fast.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+    EXPECT_THROW(Trace::decode(bytes.data(), cut), TraceError)
+        << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(TraceCodec, RejectsRecordCountBeyondRemainingBytes) {
+  Trace t;
+  t.intern("g");
+  TraceRecord r;
+  t.records.push_back(r);
+  std::vector<std::uint8_t> bytes = t.encode();
+  bytes[16] = 0xFF;  // record_count low byte: promise 255 records
+  try {
+    Trace::decode(bytes.data(), bytes.size());
+    FAIL() << "overlong record count accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceCodec, RejectsDanglingNameIndex) {
+  Trace t;
+  t.intern("g");
+  TraceRecord r;
+  r.name_idx = 0;
+  t.records.push_back(r);
+  std::vector<std::uint8_t> bytes = t.encode();
+  // name_idx sits 20 bytes into the record (after vtime, work, caller).
+  bytes[kTraceHeaderBytes + 4 + 1 + 20] = 9;
+  try {
+    Trace::decode(bytes.data(), bytes.size());
+    FAIL() << "dangling name index accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("name table"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceCodec, RejectsUnknownDirectionByte) {
+  Trace t;
+  t.intern("g");
+  TraceRecord r;
+  t.records.push_back(r);
+  std::vector<std::uint8_t> bytes = t.encode();
+  bytes[kTraceHeaderBytes + 4 + 1 + 36] = 0xFF;  // direction byte
+  EXPECT_THROW(Trace::decode(bytes.data(), bytes.size()), TraceError);
+}
+
+TEST(TraceCodec, SaveLoadRoundTripsThroughAFile) {
+  std::mt19937_64 rng(0xF11E);
+  const Trace t = random_trace(rng);
+  const std::string path = ::testing::TempDir() + "trace_test_roundtrip.bin";
+  t.save(path);
+  const Trace loaded = Trace::load(path);
+  EXPECT_EQ(t, loaded);
+  std::remove(path.c_str());
+  EXPECT_THROW(Trace::load(path + ".does-not-exist"), TraceError);
+}
+
+TEST(TraceHelpers, InternDeduplicatesAndCountsCallers) {
+  Trace t;
+  EXPECT_EQ(t.intern("read"), 0u);
+  EXPECT_EQ(t.intern("write"), 1u);
+  EXPECT_EQ(t.intern("read"), 0u);
+  EXPECT_EQ(t.names.size(), 2u);
+  EXPECT_EQ(t.caller_count(), 0u);
+  EXPECT_EQ(t.duration_ns(), 0u);
+  TraceRecord r;
+  r.caller = 7;
+  r.vtime_ns = 42;
+  t.records.push_back(r);
+  r.caller = 3;
+  r.vtime_ns = 99;
+  t.records.push_back(r);
+  t.records.push_back(r);
+  EXPECT_EQ(t.caller_count(), 2u);
+  EXPECT_EQ(t.duration_ns(), 99u);
+}
+
+TEST(TraceHelpers, JsonlExportHasHeaderAndOneLinePerRecord) {
+  Trace t;
+  t.seed = 5;
+  const std::uint32_t g = t.intern("g");
+  TraceRecord r;
+  r.name_idx = g;
+  r.vtime_ns = 10;
+  t.records.push_back(r);
+  r.vtime_ns = 20;
+  t.records.push_back(r);
+  std::ostringstream out;
+  t.export_jsonl(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u) << text;
+  EXPECT_NE(text.find("\"trace\":\"header\""), std::string::npos);
+  EXPECT_NE(text.find("\"seed\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"g\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::workload
