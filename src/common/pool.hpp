@@ -8,9 +8,14 @@
 // triggers the reset-via-ocall path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
 
 namespace zc {
 
@@ -49,6 +54,100 @@ class BumpPool {
   std::size_t offset_ = 0;
   std::uint64_t resets_ = 0;
   std::uint64_t failures_ = 0;
+};
+
+/// Size-classed slab allocator for untrusted call frames (`pool=slab`).
+///
+/// The bump pools above cap a frame at the worker/slot budget, so large
+/// payloads (>= 64 KB sectors) always fall back to regular transitions.
+/// SlabPool removes that cliff: blocks come in power-of-two size classes
+/// (kMinBlock up to `max_block`), each class backed by multi-block slabs
+/// that grow on demand and are reused forever after.  Frames are returned
+/// with free() instead of a whole-pool reset, so concurrent callers never
+/// contend on one bump cursor.
+///
+/// Concurrency: allocate()/free() are thread-safe.  The hot path is a
+/// thread-local magazine (a small per-class stack of blocks, no locking);
+/// magazine over/underflow falls through to per-pool central free lists
+/// under one mutex, and only an empty class allocates a new slab.
+///
+/// Counters: hits = blocks served from a magazine or central list,
+/// misses = allocations that forced a slab growth, grows = slabs
+/// allocated.  Mirrored into external PaddedCounters (BackendStats) when
+/// wired via set_counters().
+class SlabPool {
+ public:
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kDefaultMaxBlock = std::size_t{2} << 20;
+  static constexpr std::size_t kBlockAlign = 64;
+
+  /// External counter mirrors (e.g. &stats.slab_hits); any may be null.
+  struct Counters {
+    PaddedCounter* hits = nullptr;
+    PaddedCounter* misses = nullptr;
+    PaddedCounter* grows = nullptr;
+  };
+
+  /// `max_block`: largest size-classed block; bigger requests get a
+  /// dedicated allocation (still 64-aligned, freed on free()).
+  explicit SlabPool(std::size_t max_block = kDefaultMaxBlock);
+  ~SlabPool();
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Returns a 64-byte-aligned block of at least `size` bytes (never
+  /// nullptr short of bad_alloc).  size == 0 is served from the smallest
+  /// class.
+  void* allocate(std::size_t size);
+
+  /// Returns `p` (from allocate()) for reuse.  Safe from any thread.
+  void free(void* p) noexcept;
+
+  /// Mirrors hit/miss/grow increments into the given counters.
+  void set_counters(const Counters& c) noexcept { external_ = c; }
+
+  std::uint64_t hit_count() const noexcept { return hits_.load(); }
+  std::uint64_t miss_count() const noexcept { return misses_.load(); }
+  std::uint64_t grow_count() const noexcept { return grows_.load(); }
+
+  unsigned class_count() const noexcept { return classes_; }
+  std::size_t class_size(unsigned i) const noexcept {
+    return kMinBlock << i;
+  }
+  std::size_t max_block() const noexcept { return max_block_; }
+
+  /// True if `p` lies inside one of this pool's slabs (not oversize
+  /// dedicated blocks).  Takes the pool lock; for tests.
+  bool owns(const void* p) const;
+
+ private:
+  struct BlockHeader;
+  struct SlabDeleter {
+    void operator()(std::byte* p) const noexcept;
+  };
+  using SlabPtr = std::unique_ptr<std::byte[], SlabDeleter>;
+
+  static BlockHeader* header_of(void* payload) noexcept;
+  void* carve_locked(unsigned cls);
+  void count_hit() noexcept;
+  void count_miss_grow() noexcept;
+
+  const std::size_t max_block_;
+  unsigned classes_ = 0;
+  const std::uint64_t id_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<void*>> central_;  // per-class free lists
+  std::vector<SlabPtr> slabs_;
+  std::vector<std::size_t> slab_bytes_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> grows_{0};
+  Counters external_;
+
+  friend struct SlabTlsCache;
 };
 
 }  // namespace zc

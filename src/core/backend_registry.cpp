@@ -346,6 +346,26 @@ GateWaitPolicy parse_wait(const BackendSpec& spec, GateWaitPolicy fallback) {
   return policy;
 }
 
+// Shared `pool=` parsing: which allocator backs the untrusted frames of
+// the ZC family's switchless paths.
+FramePoolKind parse_pool(const BackendSpec& spec, FramePoolKind fallback) {
+  const std::string v = spec.get_string("pool", "");
+  if (v.empty()) return fallback;
+  if (v == "bump") return FramePoolKind::kBump;
+  if (v == "slab") return FramePoolKind::kSlab;
+  bad_value("pool", v, "bump/slab");
+}
+
+// Shared `copy=` parsing: the data-plane copy discipline the backend
+// advertises via CallBackend::copy_mode().
+CopyMode parse_copy(const BackendSpec& spec, CopyMode fallback) {
+  const std::string v = spec.get_string("copy", "");
+  if (v.empty()) return fallback;
+  if (v == "double") return CopyMode::kDouble;
+  if (v == "single") return CopyMode::kSingle;
+  bad_value("copy", v, "double/single");
+}
+
 std::unique_ptr<CallBackend> build_no_sl(Enclave& enclave,
                                          const BackendSpec& spec,
                                          CpuUsageMeter* /*meter*/) {
@@ -386,6 +406,8 @@ ZcConfig zc_config_from_spec(Enclave& enclave, const BackendSpec& spec,
   // What the caller does once the spin budget expires: the historical
   // yield loop, a futex/condvar sleep, or hotcalls-style pure spinning.
   cfg.wait = parse_wait(spec, cfg.wait);
+  cfg.pool = parse_pool(spec, cfg.pool);
+  cfg.copy = parse_copy(spec, cfg.copy);
   if (spec.has("workers")) {
     const unsigned w = spec.get_unsigned("workers", 0);
     cfg.with_initial_workers(w);
@@ -412,7 +434,7 @@ std::unique_ptr<CallBackend> build_zc(Enclave& enclave,
 // in build_zc_sharded.
 constexpr const char* kZcWorkerPlaneOptions[] = {
     "workers", "max_workers", "quantum_us", "mu",
-    "pool_bytes", "scheduler", "spin_us", "wait"};
+    "pool_bytes", "scheduler", "spin_us", "wait", "pool", "copy"};
 
 // Registry option list = the worker-plane table plus entry-specific names.
 std::vector<std::string> with_zc_worker_plane_options(
@@ -578,6 +600,8 @@ std::unique_ptr<CallBackend> build_zc_batched(Enclave& enclave,
   if (cfg.slot_pool_bytes == 0) {
     throw BackendSpecError("zc_batched: pool_bytes must be > 0");
   }
+  cfg.pool = parse_pool(spec, cfg.pool);
+  cfg.copy = parse_copy(spec, cfg.copy);
   cfg.ring = spec.get_bool("ring", cfg.ring);
   cfg.coalesce = spec.get_bool("coalesce", cfg.coalesce);
   if (cfg.coalesce && !gate_can_sleep(cfg.wait)) {
@@ -615,6 +639,8 @@ std::unique_ptr<CallBackend> build_zc_async(Enclave& enclave,
         "zc_async: wait must be futex or condvar — the async plane never "
         "spins (that is its point)");
   }
+  cfg.pool = parse_pool(spec, cfg.pool);
+  cfg.copy = parse_copy(spec, cfg.copy);
   cfg.ring = spec.get_bool("ring", cfg.ring);
   cfg.coalesce = spec.get_bool("coalesce", cfg.coalesce);
   return make_zc_async_backend(enclave, std::move(cfg));
@@ -761,14 +787,15 @@ BackendRegistry& BackendRegistry::instance() {
          "ZC with per-worker batch buffers flushed on batch=K, flush_us=T "
          "or the adaptive flush=feedback window",
          {"workers", "batch", "flush", "flush_us", "quantum_us", "spin_us",
-          "wait", "pool_bytes", "ring", "coalesce", "direction"},
+          "wait", "pool_bytes", "pool", "copy", "ring", "coalesce",
+          "direction"},
          build_zc_batched});
     r->register_backend(
         {"zc_async",
          "future-based ZC: submit()/wait() futures, futex/condvar "
          "completion, no caller spin",
-         {"workers", "queue", "pool_bytes", "wait", "ring", "coalesce",
-          "direction"},
+         {"workers", "queue", "pool_bytes", "pool", "copy", "wait", "ring",
+          "coalesce", "direction"},
          build_zc_async});
     r->register_backend(
         {"record",
@@ -892,7 +919,9 @@ std::string BackendRegistry::help() const {
       "  (ecall) plane where supported.  inner=(...) nests a whole spec:\n"
       "  the sharded router builds every shard from it (2 levels max).\n"
       "  wait= picks the blocked-caller policy (spin/yield/futex/condvar)\n"
-      "  once the spin_us budget expires.\n";
+      "  once the spin_us budget expires.  pool=slab swaps the bump frame\n"
+      "  pools for a shared size-classed slab; copy=single advertises the\n"
+      "  in-place payload path (see docs/backend-specs.md).\n";
   for (const auto& entry : entries_) {
     out += "  " + entry.key + " — " + entry.summary + "\n";
     out += "      options: " +

@@ -57,6 +57,11 @@ void ZcAsyncBackend::wake_a_worker() {
 
 ZcAsyncBackend::ZcAsyncBackend(Enclave& enclave, ZcAsyncConfig cfg)
     : enclave_(enclave), cfg_(std::move(cfg)) {
+  if (cfg_.pool == FramePoolKind::kSlab) {
+    slab_ = std::make_unique<SlabPool>();
+    slab_->set_counters(SlabPool::Counters{
+        &stats_.slab_hits, &stats_.slab_misses, &stats_.slab_grows});
+  }
   if (!cfg_.ring) {
     slots_.reserve(cfg_.queue);
     for (unsigned i = 0; i < cfg_.queue; ++i) {
@@ -154,6 +159,8 @@ void ZcAsyncBackend::execute_regular(const CallDesc& desc) {
 
 CallFuture ZcAsyncBackend::inline_fallback(const CallDesc& desc) {
   execute_regular(desc);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.fallback_calls.add();
   return CallFuture(CallPath::kFallback);
 }
@@ -187,8 +194,15 @@ bool ZcAsyncBackend::try_submit(const CallDesc& desc, FutureHandle& out) {
   }
   if (slot == nullptr) return false;
 
-  slot->pool.reset();  // single-request pool: fresh for every claim
-  void* mem = slot->pool.allocate(frame_bytes(desc), 64);
+  void* mem = nullptr;
+  if (slab_ != nullptr) {
+    // Shared slab: per-frame blocks, freed at release — no per-claim
+    // reset and no size cliff (the slab never refuses).
+    mem = slab_->allocate(frame_bytes(desc));
+  } else {
+    slot->pool.reset();  // single-request pool: fresh for every claim
+    mem = slot->pool.allocate(frame_bytes(desc), 64);
+  }
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.
     slot->state.store(SlotState::kFree, std::memory_order_release);
@@ -199,6 +213,7 @@ bool ZcAsyncBackend::try_submit(const CallDesc& desc, FutureHandle& out) {
   // the per-layer load signal the sharded router's selectors read.
   stats_.in_flight.add();
   marshal_into(mem, desc);
+  if (desc.produce_in != nullptr) stats_.copies_elided.add();
   slot->desc = desc;
   slot->frame = mem;
   slot->abandoned.store(false, std::memory_order_relaxed);
@@ -248,8 +263,14 @@ bool ZcAsyncBackend::try_submit_ring(const CallDesc& desc, unsigned m,
   }
   if (slot == nullptr) return false;
 
-  slot->pool.reset();  // single-request pool: fresh for every claim
-  void* mem = slot->pool.allocate(frame_bytes(desc), 64);
+  void* mem = nullptr;
+  if (slab_ != nullptr) {
+    // Shared slab: per-frame blocks, freed at release — never refuses.
+    mem = slab_->allocate(frame_bytes(desc));
+  } else {
+    slot->pool.reset();  // single-request pool: fresh for every claim
+    mem = slot->pool.allocate(frame_bytes(desc), 64);
+  }
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.  A claimed
     // ring cell cannot be un-claimed, so retire it empty — publish +
@@ -263,6 +284,7 @@ bool ZcAsyncBackend::try_submit_ring(const CallDesc& desc, unsigned m,
 
   stats_.in_flight.add();
   marshal_into(mem, desc);
+  if (desc.produce_in != nullptr) stats_.copies_elided.add();
   slot->desc = desc;
   slot->frame = mem;
   slot->abandoned.store(false, std::memory_order_relaxed);
@@ -295,6 +317,8 @@ bool ZcAsyncBackend::try_submit_ring(const CallDesc& desc, unsigned m,
 CallFuture ZcAsyncBackend::submit(const CallDesc& desc) {
   if (!running_.load(std::memory_order_relaxed)) {
     execute_regular(desc);
+    const std::uint64_t elided = copies_elided_by(desc);
+    if (elided != 0) stats_.copies_elided.add(elided);
     stats_.regular_calls.add();
     return CallFuture(CallPath::kRegular);
   }
@@ -341,6 +365,7 @@ bool ZcAsyncBackend::handle_completed(FutureHandle h) const noexcept {
 void ZcAsyncBackend::release_slot(Slot& slot) {
   const std::uint64_t ticket = slot.ring_ticket;
   const std::uint32_t owner = slot.ring_owner;
+  if (slab_ != nullptr && slot.frame != nullptr) slab_->free(slot.frame);
   slot.frame = nullptr;
   stats_.in_flight.sub();
   // Clear the abandon mark with the occupancy it belonged to, so a stale
@@ -377,6 +402,7 @@ CallPath ZcAsyncBackend::collect(FutureHandle h) {
   }
   MarshalledCall call = frame_view(slot.frame);
   unmarshal_from(call, slot.desc);
+  if (slot.desc.consume_out != nullptr) stats_.copies_elided.add();
   release_slot(slot);
   return CallPath::kSwitchless;
 }

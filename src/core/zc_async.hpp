@@ -61,6 +61,11 @@ struct ZcAsyncConfig {
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular call.
   std::size_t slot_pool_bytes = 64 * 1024;
+  /// pool=slab: frames come from a shared size-classed SlabPool instead of
+  /// the per-slot bump pools, so no request is ever "oversized".
+  FramePoolKind pool = FramePoolKind::kBump;
+  /// copy=single advertises the in-place payload path (see marshal.hpp).
+  CopyMode copy = CopyMode::kDouble;
   /// How wait() blocks once the short collect grace spin expires
   /// (CompletionGate): condvar (the historical per-slot wait) or futex.
   /// The async plane never busy-waits, so spin/yield are rejected at the
@@ -224,6 +229,11 @@ class ZcAsyncBackend final : public CallBackend {
 
   const ZcAsyncConfig& config() const noexcept { return cfg_; }
 
+  CopyMode copy_mode() const noexcept override { return cfg_.copy; }
+
+  /// The shared frame slab when built with pool=slab (tests/diagnostics).
+  SlabPool* slab() noexcept { return slab_.get(); }
+
  private:
   friend class CallFuture;
 
@@ -295,6 +305,7 @@ class ZcAsyncBackend final : public CallBackend {
 
   Enclave& enclave_;
   ZcAsyncConfig cfg_;
+  std::unique_ptr<SlabPool> slab_;  ///< frame slabs when pool=slab
   std::vector<std::unique_ptr<Slot>> slots_;  ///< table mode (empty: ring)
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<unsigned> active_count_{0};

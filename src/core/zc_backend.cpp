@@ -4,6 +4,11 @@ namespace zc {
 
 ZcBackend::ZcBackend(Enclave& enclave, ZcConfig cfg)
     : enclave_(enclave), cfg_(std::move(cfg)) {
+  if (cfg_.pool == FramePoolKind::kSlab) {
+    slab_ = std::make_unique<SlabPool>();
+    slab_->set_counters(SlabPool::Counters{
+        &stats_.slab_hits, &stats_.slab_misses, &stats_.slab_grows});
+  }
   const unsigned max =
       cfg_.resolved_max_workers(enclave_.config().logical_cpus);
   workers_.reserve(max);
@@ -53,6 +58,8 @@ void ZcBackend::execute_regular(const CallDesc& desc) {
 
 CallPath ZcBackend::fallback(const CallDesc& desc) {
   execute_regular(desc);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.fallback_calls.add();
   return CallPath::kFallback;
 }
@@ -78,9 +85,11 @@ bool ZcBackend::try_invoke_switchless(const CallDesc& desc) {
   // wants to balance (fallbacks run on the caller's own thread and do
   // not occupy this backend, so they are deliberately not counted).
   stats_.in_flight.add();
-  void* mem = worker->alloc_frame(frame_bytes(desc));
+  void* mem = slab_ != nullptr ? slab_->allocate(frame_bytes(desc))
+                               : worker->alloc_frame(frame_bytes(desc));
   if (mem == nullptr) {
-    // Request larger than the whole pool: cannot go switchless.
+    // Request larger than the whole pool: cannot go switchless.  (The
+    // slab never refuses — that is the large-payload cliff it removes.)
     worker->cancel_reservation();
     stats_.in_flight.sub();
     return false;
@@ -91,6 +100,9 @@ bool ZcBackend::try_invoke_switchless(const CallDesc& desc) {
   worker->wait_done();
   unmarshal_from(call, desc);
   worker->release();
+  if (slab_ != nullptr) slab_->free(mem);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.in_flight.sub();
   stats_.switchless_calls.add();
   return true;
@@ -99,6 +111,8 @@ bool ZcBackend::try_invoke_switchless(const CallDesc& desc) {
 CallPath ZcBackend::invoke(const CallDesc& desc) {
   if (!running_.load(std::memory_order_relaxed)) {
     execute_regular(desc);
+    const std::uint64_t elided = copies_elided_by(desc);
+    if (elided != 0) stats_.copies_elided.add(elided);
     stats_.regular_calls.add();
     return CallPath::kRegular;
   }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "core/scheduler.hpp"
 #include "core/worker.hpp"
 #include "core/zc_config.hpp"
@@ -54,6 +55,11 @@ class ZcBackend final : public CallBackend {
 
   const ZcConfig& config() const noexcept { return cfg_; }
 
+  CopyMode copy_mode() const noexcept override { return cfg_.copy; }
+
+  /// The shared frame slab when built with pool=slab (tests/diagnostics).
+  SlabPool* slab() noexcept { return slab_.get(); }
+
   /// The feedback scheduler (valid between start() and stop()).
   ZcScheduler* scheduler() noexcept { return scheduler_.get(); }
   const ZcScheduler* scheduler() const noexcept { return scheduler_.get(); }
@@ -67,6 +73,7 @@ class ZcBackend final : public CallBackend {
 
   Enclave& enclave_;
   ZcConfig cfg_;
+  std::unique_ptr<SlabPool> slab_;  ///< frame slabs when pool=slab
   std::vector<std::unique_ptr<ZcWorker>> workers_;
   std::unique_ptr<ZcScheduler> scheduler_;
   std::atomic<unsigned> active_count_{0};

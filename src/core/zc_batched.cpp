@@ -42,6 +42,11 @@ void ZcBatchedBackend::wake(Worker& w) {
 
 ZcBatchedBackend::ZcBatchedBackend(Enclave& enclave, ZcBatchedConfig cfg)
     : enclave_(enclave), cfg_(std::move(cfg)) {
+  if (cfg_.pool == FramePoolKind::kSlab) {
+    slab_ = std::make_unique<SlabPool>();
+    slab_->set_counters(SlabPool::Counters{
+        &stats_.slab_hits, &stats_.slab_misses, &stats_.slab_grows});
+  }
   flush_ns_.store(static_cast<std::uint64_t>(cfg_.flush.count()) * 1'000,
                   std::memory_order_relaxed);
   workers_.reserve(cfg_.workers);
@@ -157,6 +162,8 @@ void ZcBatchedBackend::execute_regular(const CallDesc& desc) {
 
 CallPath ZcBatchedBackend::fallback(const CallDesc& desc) {
   execute_regular(desc);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.fallback_calls.add();
   return CallPath::kFallback;
 }
@@ -210,8 +217,15 @@ bool ZcBatchedBackend::try_invoke_switchless(const CallDesc& desc) {
   }
   if (slot == nullptr) return false;
 
-  slot->pool.reset();  // single-request pool: fresh for every claim
-  void* mem = slot->pool.allocate(frame_bytes(desc), 64);
+  void* mem = nullptr;
+  if (slab_ != nullptr) {
+    // Shared slab: per-frame blocks, freed on collection — no per-claim
+    // reset and no size cliff (the slab never refuses).
+    mem = slab_->allocate(frame_bytes(desc));
+  } else {
+    slot->pool.reset();  // single-request pool: fresh for every claim
+    mem = slot->pool.allocate(frame_bytes(desc), 64);
+  }
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.
     slot->state.store(SlotState::kEmpty, std::memory_order_release);
@@ -234,6 +248,9 @@ bool ZcBatchedBackend::try_invoke_switchless(const CallDesc& desc) {
   await_done(*worker, *slot);
   unmarshal_from(call, desc);
   slot->state.store(SlotState::kEmpty, std::memory_order_release);
+  if (slab_ != nullptr) slab_->free(mem);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.in_flight.sub();
   stats_.switchless_calls.add();
   return true;
@@ -254,8 +271,13 @@ bool ZcBatchedBackend::try_invoke_ring(const CallDesc& desc, unsigned m) {
   }
   if (slot == nullptr) return false;
 
-  slot->pool.reset();  // single-request pool: fresh for every claim
-  void* mem = slot->pool.allocate(frame_bytes(desc), 64);
+  void* mem = nullptr;
+  if (slab_ != nullptr) {
+    mem = slab_->allocate(frame_bytes(desc));
+  } else {
+    slot->pool.reset();  // single-request pool: fresh for every claim
+    mem = slot->pool.allocate(frame_bytes(desc), 64);
+  }
   if (mem == nullptr) {
     // Request larger than the slot pool: cannot go switchless.  A claimed
     // ring cell cannot be un-claimed, so retire it empty: publish +
@@ -296,6 +318,9 @@ bool ZcBatchedBackend::try_invoke_ring(const CallDesc& desc, unsigned m) {
   unmarshal_from(call, desc);
   slot->state.store(SlotState::kEmpty, std::memory_order_release);
   worker->ring->recycle(ticket);
+  if (slab_ != nullptr) slab_->free(mem);
+  const std::uint64_t elided = copies_elided_by(desc);
+  if (elided != 0) stats_.copies_elided.add(elided);
   stats_.in_flight.sub();
   stats_.switchless_calls.add();
   return true;
@@ -304,6 +329,8 @@ bool ZcBatchedBackend::try_invoke_ring(const CallDesc& desc, unsigned m) {
 CallPath ZcBatchedBackend::invoke(const CallDesc& desc) {
   if (!running_.load(std::memory_order_relaxed)) {
     execute_regular(desc);
+    const std::uint64_t elided = copies_elided_by(desc);
+    if (elided != 0) stats_.copies_elided.add(elided);
     stats_.regular_calls.add();
     return CallPath::kRegular;
   }

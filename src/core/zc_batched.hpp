@@ -100,6 +100,11 @@ struct ZcBatchedConfig {
   /// Per-slot preallocated untrusted frame pool; oversized requests fall
   /// back to a regular ocall.
   std::size_t slot_pool_bytes = 64 * 1024;
+  /// pool=slab: frames come from a shared size-classed SlabPool instead of
+  /// the per-slot bump pools, so no request is ever "oversized".
+  FramePoolKind pool = FramePoolKind::kBump;
+  /// copy=single advertises the in-place payload path (see marshal.hpp).
+  CopyMode copy = CopyMode::kDouble;
   /// Lock-free MPSC submit ring per worker instead of the slot-table
   /// CAS-scan (see the header comment); `batch` becomes the ring capacity
   /// (rounded up to a power of two).
@@ -163,6 +168,11 @@ class ZcBatchedBackend final : public CallBackend {
 
   const ZcBatchedConfig& config() const noexcept { return cfg_; }
 
+  CopyMode copy_mode() const noexcept override { return cfg_.copy; }
+
+  /// The shared frame slab when built with pool=slab (tests/diagnostics).
+  SlabPool* slab() noexcept { return slab_.get(); }
+
   /// Test hook: plants the rotating-claim counter (wraparound regression
   /// tests start it just below the old 32-bit boundary).
   void set_claim_rotation_for_test(std::uint64_t v) noexcept {
@@ -219,6 +229,7 @@ class ZcBatchedBackend final : public CallBackend {
 
   Enclave& enclave_;
   ZcBatchedConfig cfg_;
+  std::unique_ptr<SlabPool> slab_;  ///< frame slabs when pool=slab
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<unsigned> active_count_{0};
   /// Rotating claim start.  64-bit on purpose: the old 32-bit counter made

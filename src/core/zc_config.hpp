@@ -56,6 +56,19 @@ struct ZcConfig {
   /// hands off 1:1 and has nothing to coalesce.
   GateWaitPolicy wait = GateWaitPolicy::kYield;
 
+  /// Which allocator backs the untrusted call frames (`pool=` option).
+  /// kBump is the paper's per-worker bump pool: frames above
+  /// worker_pool_bytes always fall back to regular calls.  kSlab routes
+  /// frames through a shared size-classed SlabPool (per-frame free,
+  /// thread-local magazines), removing the large-payload cliff.
+  FramePoolKind pool = FramePoolKind::kBump;
+
+  /// Payload copy discipline advertised to callers (`copy=` option).
+  /// kSingle lets apps build/consume payloads directly in the untrusted
+  /// frame (CallDesc producers/consumers, marshal.hpp) against handlers
+  /// registered in_place_capable.
+  CopyMode copy = CopyMode::kDouble;
+
   /// Disable the feedback scheduler and keep `initial workers` forever
   /// (ablation: isolates the call path from the adaptation policy).
   bool scheduler_enabled = true;

@@ -141,6 +141,23 @@ class ZcShardedBackend final : public CallBackend {
     return static_cast<unsigned>(shards_.size());
   }
 
+  /// The composed plane's copy discipline is whatever the shards advertise
+  /// (uniform by construction: every shard comes from the same spec).
+  CopyMode copy_mode() const noexcept override {
+    return shards_.empty() ? CopyMode::kDouble : shards_.front()->copy_mode();
+  }
+
+  /// Per-layer introspection: one layer per shard, so benches can emit a
+  /// stats row for each routing target instead of only the rolled-up view.
+  unsigned layer_count() const noexcept override { return shard_count(); }
+  BackendStatsSnapshot layer_snapshot(unsigned i) const override {
+    return i < shards_.size() ? shards_[i]->stats_snapshot()
+                              : BackendStatsSnapshot{};
+  }
+  const char* layer_name(unsigned i) const noexcept override {
+    return i < shards_.size() ? shards_[i]->name() : "";
+  }
+
   /// Direct access to one shard layer (diagnostics, churn tests,
   /// per-layer stats via shard(i).stats_snapshot()).
   CallBackend& shard(unsigned i) noexcept { return *shards_[i]; }

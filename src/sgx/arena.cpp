@@ -1,17 +1,33 @@
 #include "sgx/arena.hpp"
 
+#include <new>
+
 namespace zc {
 
+namespace {
+constexpr std::size_t kArenaAlign = 64;
+}
+
+void ScratchArena::Deleter::operator()(std::byte* p) const noexcept {
+  ::operator delete(p, std::align_val_t(kArenaAlign));
+}
+
+std::byte* ScratchArena::allocate_aligned(std::size_t bytes) {
+  return static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t(kArenaAlign)));
+}
+
 ScratchArena::ScratchArena(std::size_t initial_capacity)
-    : buffer_(std::make_unique<std::byte[]>(initial_capacity)),
+    : buffer_(allocate_aligned(initial_capacity)),
       capacity_(initial_capacity) {}
 
 void* ScratchArena::acquire(std::size_t size) {
   if (size > capacity_) {
     std::size_t grown = capacity_ == 0 ? 4096 : capacity_;
     while (grown < size) grown *= 2;
-    buffer_ = std::make_unique<std::byte[]>(grown);
+    buffer_.reset(allocate_aligned(grown));
     capacity_ = grown;
+    ++grows_;
   }
   return buffer_.get();
 }

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <vector>
 
 namespace zc {
 
@@ -17,18 +17,31 @@ class ScratchArena {
  public:
   explicit ScratchArena(std::size_t initial_capacity = 64 * 1024);
 
-  /// Returns a block of at least `size` bytes (16-byte aligned), valid
-  /// until the next acquire(). Grows the arena if needed.
+  /// Returns a block of at least `size` bytes (64-byte aligned, matching
+  /// the switchless frame pools), valid until the next acquire().  Grows
+  /// geometrically when needed and keeps the high-water capacity across
+  /// calls, so a steady stream of large frames reallocates only while the
+  /// watermark still rises; each reallocation is counted in grow_count().
   void* acquire(std::size_t size);
 
   std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of reallocations acquire() has performed (growth events).
+  std::uint64_t grow_count() const noexcept { return grows_; }
 
   /// The calling thread's arena (created on first use).
   static ScratchArena& for_current_thread();
 
  private:
-  std::unique_ptr<std::byte[]> buffer_;
+  struct Deleter {
+    void operator()(std::byte* p) const noexcept;
+  };
+
+  static std::byte* allocate_aligned(std::size_t bytes);
+
+  std::unique_ptr<std::byte[], Deleter> buffer_;
   std::size_t capacity_;
+  std::uint64_t grows_ = 0;
 };
 
 }  // namespace zc

@@ -24,6 +24,26 @@ const char* to_string(CallDirection direction) noexcept {
   return "?";
 }
 
+const char* to_string(FramePoolKind pool) noexcept {
+  switch (pool) {
+    case FramePoolKind::kBump:
+      return "bump";
+    case FramePoolKind::kSlab:
+      return "slab";
+  }
+  return "?";
+}
+
+const char* to_string(CopyMode mode) noexcept {
+  switch (mode) {
+    case CopyMode::kDouble:
+      return "double";
+    case CopyMode::kSingle:
+      return "single";
+  }
+  return "?";
+}
+
 BackendStatsSnapshot BackendStats::snapshot() const noexcept {
   BackendStatsSnapshot s;
   s.regular_calls = regular_calls.load();
@@ -38,6 +58,10 @@ BackendStatsSnapshot BackendStats::snapshot() const noexcept {
   s.caller_wakeups = caller_wakeups.load();
   s.steals = steals.load();
   s.wake_batches = wake_batches.load();
+  s.slab_hits = slab_hits.load();
+  s.slab_misses = slab_misses.load();
+  s.slab_grows = slab_grows.load();
+  s.copies_elided = copies_elided.load();
   s.in_flight = in_flight.load();
   return s;
 }
@@ -56,6 +80,10 @@ BackendStatsSnapshot& BackendStatsSnapshot::merge(
   caller_wakeups += other.caller_wakeups;
   steals += other.steals;
   wake_batches += other.wake_batches;
+  slab_hits += other.slab_hits;
+  slab_misses += other.slab_misses;
+  slab_grows += other.slab_grows;
+  copies_elided += other.copies_elided;
   in_flight += other.in_flight;
   return *this;
 }

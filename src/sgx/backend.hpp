@@ -31,8 +31,23 @@ enum class CallPath : std::uint8_t {
   kFallback,    ///< wanted switchless, fell back to a regular ocall
 };
 
+/// Which allocator backs a switchless backend's untrusted call frames
+/// (`pool=` spec option).
+enum class FramePoolKind : std::uint8_t {
+  kBump,  ///< per-worker/per-slot bump pools, whole-pool reset on full
+  kSlab,  ///< shared size-classed SlabPool, per-frame free, no size cliff
+};
+
+/// How payload bytes cross the trusted staging boundary (`copy=` option).
+enum class CopyMode : std::uint8_t {
+  kDouble,  ///< classic edger8r scheme: stage through trusted buffers
+  kSingle,  ///< callers produce/consume payloads in the untrusted frame
+};
+
 const char* to_string(CallPath path) noexcept;
 const char* to_string(CallDirection direction) noexcept;
+const char* to_string(FramePoolKind pool) noexcept;
+const char* to_string(CopyMode mode) noexcept;
 
 struct BackendStatsSnapshot;
 
@@ -55,6 +70,14 @@ struct BackendStats {
   PaddedCounter wake_batches;      ///< coalesced wake broadcasts: one per
                                    ///< notify_batch() a worker issued in
                                    ///< place of per-slot caller wakeups
+  PaddedCounter slab_hits;         ///< slab-pool frame allocs served from a
+                                   ///< thread-local magazine or central list
+  PaddedCounter slab_misses;       ///< slab-pool allocs that had to carve a
+                                   ///< fresh block (cold class)
+  PaddedCounter slab_grows;        ///< slab-pool slab extensions (one per
+                                   ///< multi-block growth of a size class)
+  PaddedCounter copies_elided;     ///< payload copies skipped by copy=single
+                                   ///< (handler consumed/produced in place)
   /// Calls currently occupying one of this backend's workers (claimed
   /// through collected).  This is the cheap per-shard load signal the
   /// sharded backend's load-aware selectors read: a level, not a total.
@@ -86,6 +109,10 @@ struct BackendStatsSnapshot {
   std::uint64_t caller_wakeups = 0;
   std::uint64_t steals = 0;
   std::uint64_t wake_batches = 0;
+  std::uint64_t slab_hits = 0;
+  std::uint64_t slab_misses = 0;
+  std::uint64_t slab_grows = 0;
+  std::uint64_t copies_elided = 0;
   std::uint64_t in_flight = 0;
 
   std::uint64_t total_calls() const noexcept {
@@ -136,6 +163,30 @@ class CallBackend {
   /// zc_batched inner's batch_flushes surface at the top.
   virtual BackendStatsSnapshot stats_snapshot() const {
     return stats_.snapshot();
+  }
+
+  /// The payload copy discipline this backend was built with (`copy=`).
+  /// Apps and benches query it to pick the staging (kDouble) or in-place
+  /// (kSingle) CallDesc form; see marshal.hpp.
+  virtual CopyMode copy_mode() const noexcept { return CopyMode::kDouble; }
+
+  /// Composed backends expose their constituent layers so benches can emit
+  /// one stats row per layer (a sharded router's shards plotted
+  /// individually, not just the rolled-up sum).  Plain backends have no
+  /// sub-layers: layer_count() == 0.
+  virtual unsigned layer_count() const noexcept { return 0; }
+
+  /// Snapshot of layer `i` (i < layer_count()).  Out-of-range indices
+  /// return an empty snapshot.
+  virtual BackendStatsSnapshot layer_snapshot(unsigned i) const {
+    (void)i;
+    return {};
+  }
+
+  /// Human-readable name of layer `i` ("shard0", ...); "" out of range.
+  virtual const char* layer_name(unsigned i) const noexcept {
+    (void)i;
+    return "";
   }
 
   /// Number of workers currently allowed to serve calls (0 for regular).

@@ -195,6 +195,8 @@ class RegularBackend final : public CallBackend {
 
   CallPath invoke(const CallDesc& desc) override {
     execute_regular_ocall(enclave_, desc);
+    const std::uint64_t elided = copies_elided_by(desc);
+    if (elided != 0) stats_.copies_elided.add(elided);
     stats_.regular_calls.add();
     return CallPath::kRegular;
   }
@@ -213,6 +215,8 @@ class RegularEcallBackend final : public CallBackend {
 
   CallPath invoke(const CallDesc& desc) override {
     execute_regular_ecall(enclave_, desc);
+    const std::uint64_t elided = copies_elided_by(desc);
+    if (elided != 0) stats_.copies_elided.add(elided);
     stats_.regular_calls.add();
     return CallPath::kRegular;
   }

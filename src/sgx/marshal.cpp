@@ -12,6 +12,9 @@ std::size_t aligned_args_bytes(std::uint32_t args_size) noexcept {
          ~(kArgsAlign - 1);
 }
 
+static_assert(sizeof(FrameHeader) % kArgsAlign == 0,
+              "args area must stay 16-byte aligned");
+
 }  // namespace
 
 std::size_t frame_bytes(const CallDesc& desc) noexcept {
@@ -24,6 +27,9 @@ MarshalledCall marshal_into(void* mem, const CallDesc& desc) noexcept {
   header->fn_id = desc.fn_id;
   header->args_size = desc.args_size;
   header->payload_size = desc.payload_capacity();
+  header->flags = desc.single_copy() ? MarshalledCall::kSingleCopy : 0;
+  header->reserved0 = 0;
+  header->reserved1 = 0;
 
   auto* base = static_cast<std::byte*>(mem) + sizeof(FrameHeader);
   MarshalledCall call;
@@ -33,11 +39,23 @@ MarshalledCall marshal_into(void* mem, const CallDesc& desc) noexcept {
                      ? base + aligned_args_bytes(desc.args_size)
                      : nullptr;
   call.payload_size = header->payload_size;
+  call.flags = header->flags;
 
   if (desc.args_size != 0) {
     tlibc::active_memcpy(call.args, desc.args, desc.args_size);
   }
-  if (desc.in_size != 0) {
+  if (desc.produce_in != nullptr) {
+    if (desc.in_size != 0) {
+      desc.produce_in(call.payload, desc.in_size, desc.inplace_ctx);
+    }
+  } else if (desc.in_segs != nullptr) {
+    auto* dst = static_cast<std::byte*>(call.payload);
+    for (std::uint32_t i = 0; i < desc.in_seg_count; ++i) {
+      if (desc.in_segs[i].size == 0) continue;
+      tlibc::active_memcpy(dst, desc.in_segs[i].data, desc.in_segs[i].size);
+      dst += desc.in_segs[i].size;
+    }
+  } else if (desc.in_size != 0) {
     tlibc::active_memcpy(call.payload, desc.in_payload, desc.in_size);
   }
   return call;
@@ -53,6 +71,7 @@ MarshalledCall frame_view(void* mem) noexcept {
                      ? base + aligned_args_bytes(header->args_size)
                      : nullptr;
   call.payload_size = header->payload_size;
+  call.flags = header->flags;
   return call;
 }
 
@@ -60,7 +79,18 @@ void unmarshal_from(const MarshalledCall& call, const CallDesc& desc) noexcept {
   if (desc.args_size != 0) {
     tlibc::active_memcpy(desc.args, call.args, desc.args_size);
   }
-  if (desc.out_size != 0) {
+  if (desc.consume_out != nullptr) {
+    if (desc.out_size != 0) {
+      desc.consume_out(call.payload, desc.out_size, desc.inplace_ctx);
+    }
+  } else if (desc.out_segs != nullptr) {
+    const auto* src = static_cast<const std::byte*>(call.payload);
+    for (std::uint32_t i = 0; i < desc.out_seg_count; ++i) {
+      if (desc.out_segs[i].size == 0) continue;
+      tlibc::active_memcpy(desc.out_segs[i].data, src, desc.out_segs[i].size);
+      src += desc.out_segs[i].size;
+    }
+  } else if (desc.out_size != 0) {
     tlibc::active_memcpy(desc.out_payload, call.payload, desc.out_size);
   }
 }

@@ -5,9 +5,18 @@
 namespace zc {
 
 std::uint32_t OcallTable::register_fn(std::string name, OcallHandler handler) {
+  return register_fn(std::move(name), std::move(handler), HandlerTraits{});
+}
+
+std::uint32_t OcallTable::register_fn(std::string name, OcallHandler handler,
+                                      HandlerTraits traits) {
   if (!handler) throw std::invalid_argument("null ocall handler: " + name);
-  entries_.push_back(Entry{std::move(name), std::move(handler)});
+  entries_.push_back(Entry{std::move(name), std::move(handler), traits});
   return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+bool OcallTable::in_place_capable(std::uint32_t id) const noexcept {
+  return id < entries_.size() && entries_[id].traits.in_place_capable;
 }
 
 void OcallTable::dispatch(std::uint32_t id, MarshalledCall& call) const {

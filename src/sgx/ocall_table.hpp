@@ -16,21 +16,43 @@ namespace zc {
 
 /// Untrusted view of a marshalled call (see marshal.hpp for the layout).
 struct MarshalledCall {
+  /// Bit set in `flags` when the frame was built on the single-copy path
+  /// (the caller produced/consumes the payload in place; see CallDesc).
+  static constexpr std::uint32_t kSingleCopy = 1u << 0;
+
   void* args = nullptr;         ///< args struct, includes return slots
   std::uint32_t args_size = 0;  ///< bytes of the args struct
   void* payload = nullptr;      ///< optional data buffer ([in]/[out])
   std::size_t payload_size = 0;
+  std::uint32_t flags = 0;      ///< kSingleCopy et al., persisted in frame
 };
 
 /// An untrusted handler. Runs outside the (simulated) enclave — on the
 /// caller thread for regular ocalls, on a worker thread for switchless ones.
 using OcallHandler = std::function<void(MarshalledCall&)>;
 
+/// Static properties a handler declares at registration time.
+struct HandlerTraits {
+  /// The handler reads its [in] bytes from and writes its [out] bytes to
+  /// `call.payload` directly (no private aliasing assumptions), so callers
+  /// may build/consume that payload in place under `copy=single` instead
+  /// of staging through a trusted bounce buffer.
+  bool in_place_capable = false;
+};
+
 class OcallTable {
  public:
   /// Registers a handler and returns its id. Not thread-safe: all
   /// registration happens before threads start (as with edger8r tables).
   std::uint32_t register_fn(std::string name, OcallHandler handler);
+
+  /// As above, with explicit traits (in-place capability etc).
+  std::uint32_t register_fn(std::string name, OcallHandler handler,
+                            HandlerTraits traits);
+
+  /// True when handler `id` was registered in-place-capable. False for
+  /// out-of-range ids (conservative: unknown handlers get the copy path).
+  bool in_place_capable(std::uint32_t id) const noexcept;
 
   /// Invokes handler `id` on `call`. Throws std::out_of_range for bad ids.
   void dispatch(std::uint32_t id, MarshalledCall& call) const;
@@ -48,6 +70,7 @@ class OcallTable {
   struct Entry {
     std::string name;
     OcallHandler handler;
+    HandlerTraits traits;
   };
   std::vector<Entry> entries_;
 };

@@ -82,6 +82,12 @@ class TFile {
   /// fclose; idempotent. Returns the fclose result (0 if already closed).
   int close();
 
+  /// The opaque untrusted FILE handle, for callers that build their own
+  /// CallDesc against the fread/fwrite ocalls (e.g. the single-copy data
+  /// plane, which attaches an in-place producer/consumer instead of going
+  /// through read()/write()'s trusted staging buffers).  0 when closed.
+  std::uint64_t native_handle() const noexcept { return handle_; }
+
  private:
   friend class EnclaveLibc;
   TFile(EnclaveLibc* libc, std::uint64_t handle) noexcept

@@ -25,17 +25,28 @@ StdOcallIds register_std_ocalls(OcallTable& table, IoMode mode) {
   StdOcallIds ids;
   const bool sim = mode == IoMode::kSimulated;
 
-  ids.read = table.register_fn("read", [sim](MarshalledCall& call) {
-    auto* a = args_of<ReadArgs>(call);
-    a->ret = sim ? SimFs::instance().read(a->fd, call.payload, a->count)
-                 : ::read(a->fd, call.payload, a->count);
-  });
+  // The payload-carrying I/O handlers operate directly on call.payload (the
+  // untrusted frame), so they are safe under the single-copy data plane —
+  // declared via HandlerTraits so apps can assert eligibility.
+  const HandlerTraits in_place{/*in_place_capable=*/true};
 
-  ids.write = table.register_fn("write", [sim](MarshalledCall& call) {
-    auto* a = args_of<WriteArgs>(call);
-    a->ret = sim ? SimFs::instance().write(a->fd, call.payload, a->count)
-                 : ::write(a->fd, call.payload, a->count);
-  });
+  ids.read = table.register_fn(
+      "read",
+      [sim](MarshalledCall& call) {
+        auto* a = args_of<ReadArgs>(call);
+        a->ret = sim ? SimFs::instance().read(a->fd, call.payload, a->count)
+                     : ::read(a->fd, call.payload, a->count);
+      },
+      in_place);
+
+  ids.write = table.register_fn(
+      "write",
+      [sim](MarshalledCall& call) {
+        auto* a = args_of<WriteArgs>(call);
+        a->ret = sim ? SimFs::instance().write(a->fd, call.payload, a->count)
+                     : ::write(a->fd, call.payload, a->count);
+      },
+      in_place);
 
   ids.open = table.register_fn("open", [sim](MarshalledCall& call) {
     auto* a = args_of<OpenArgs>(call);
@@ -69,17 +80,24 @@ StdOcallIds register_std_ocalls(OcallTable& table, IoMode mode) {
     }
   });
 
-  ids.fread = table.register_fn("fread", [sim](MarshalledCall& call) {
-    auto* a = args_of<FreadArgs>(call);
-    a->ret = sim ? SimFs::instance().fread(call.payload, a->size, a->handle)
-                 : std::fread(call.payload, 1, a->size, file_of(a->handle));
-  });
+  ids.fread = table.register_fn(
+      "fread",
+      [sim](MarshalledCall& call) {
+        auto* a = args_of<FreadArgs>(call);
+        a->ret = sim ? SimFs::instance().fread(call.payload, a->size, a->handle)
+                     : std::fread(call.payload, 1, a->size, file_of(a->handle));
+      },
+      in_place);
 
-  ids.fwrite = table.register_fn("fwrite", [sim](MarshalledCall& call) {
-    auto* a = args_of<FwriteArgs>(call);
-    a->ret = sim ? SimFs::instance().fwrite(call.payload, a->size, a->handle)
-                 : std::fwrite(call.payload, 1, a->size, file_of(a->handle));
-  });
+  ids.fwrite = table.register_fn(
+      "fwrite",
+      [sim](MarshalledCall& call) {
+        auto* a = args_of<FwriteArgs>(call);
+        a->ret = sim
+                     ? SimFs::instance().fwrite(call.payload, a->size, a->handle)
+                     : std::fwrite(call.payload, 1, a->size, file_of(a->handle));
+      },
+      in_place);
 
   ids.fseeko = table.register_fn("fseeko", [sim](MarshalledCall& call) {
     auto* a = args_of<FseekoArgs>(call);

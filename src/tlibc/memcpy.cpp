@@ -3,6 +3,10 @@
 #include <atomic>
 #include <cstdint>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>  // SSE2: _mm_stream_si128 / _mm_sfence
+#endif
+
 namespace zc::tlibc {
 namespace {
 
@@ -10,7 +14,10 @@ using word = std::uintptr_t;
 constexpr std::size_t kWordSize = sizeof(word);
 constexpr std::size_t kWordMask = kWordSize - 1;
 
+constexpr std::size_t kDefaultNtThreshold = 256 * 1024;
+
 std::atomic<MemcpyKind> g_active{MemcpyKind::kIntel};
+std::atomic<std::size_t> g_nt_threshold{kDefaultNtThreshold};
 
 }  // namespace
 
@@ -101,6 +108,53 @@ void* zc_memcpy(void* dst0, const void* src0, std::size_t length) noexcept {
 #endif
 }
 
+// Streaming copy: byte head until dst is 16-aligned, then 64-byte strides
+// of unaligned SSE2 loads + non-temporal stores, then a byte tail.  The
+// stores bypass the caches, so marshalling a 1 MB sector does not evict the
+// crypto working set; sfence publishes them before the function returns
+// (workers read the frame after an acquire on the slot state, which the
+// fence makes sufficient).
+void* zc_memcpy_nt(void* dst0, const void* src0, std::size_t n) noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  auto* d = static_cast<unsigned char*>(dst0);
+  const auto* s = static_cast<const unsigned char*>(src0);
+  if (n == 0 || d == s) return dst0;
+  // Overlap (either direction): the streaming loop reads ahead of its
+  // stores, so delegate to the overlap-safe copy.
+  const bool overlap = d < s ? (s < d + n) : (d < s + n);
+  if (overlap || n < 64) return zc_memcpy(dst0, src0, n);
+
+  while ((reinterpret_cast<std::uintptr_t>(d) & 15) != 0) {
+    *d++ = *s++;
+    --n;
+  }
+  while (n >= 64) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 16));
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 32));
+    const __m128i e =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 48));
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d), a);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 16), b);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 32), c);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 48), e);
+    s += 64;
+    d += 64;
+    n -= 64;
+  }
+  _mm_sfence();
+  while (n != 0) {
+    *d++ = *s++;
+    --n;
+  }
+  return dst0;
+#else
+  return zc_memcpy(dst0, src0, n);
+#endif
+}
+
 void* tmemset(void* dst, int value, std::size_t n) noexcept {
   auto* d = static_cast<unsigned char*>(dst);
   const auto v = static_cast<unsigned char>(value);
@@ -125,10 +179,23 @@ MemcpyKind active_memcpy_kind() noexcept {
   return g_active.load(std::memory_order_relaxed);
 }
 
+void set_memcpy_nt_threshold(std::size_t bytes) noexcept {
+  g_nt_threshold.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t memcpy_nt_threshold() noexcept {
+  return g_nt_threshold.load(std::memory_order_relaxed);
+}
+
 void* active_memcpy(void* dst, const void* src, std::size_t n) noexcept {
   switch (active_memcpy_kind()) {
-    case MemcpyKind::kZc:
+    case MemcpyKind::kZc: {
+      const std::size_t threshold = memcpy_nt_threshold();
+      if (threshold != 0 && n >= threshold) return zc_memcpy_nt(dst, src, n);
       return zc_memcpy(dst, src, n);
+    }
+    case MemcpyKind::kZcNt:
+      return zc_memcpy_nt(dst, src, n);
     case MemcpyKind::kIntel:
     default:
       return intel_memcpy(dst, src, n);
@@ -141,6 +208,8 @@ const char* to_string(MemcpyKind kind) noexcept {
       return "intel";
     case MemcpyKind::kZc:
       return "zc";
+    case MemcpyKind::kZcNt:
+      return "zc_nt";
   }
   return "?";
 }

@@ -26,6 +26,12 @@ void* intel_memcpy(void* dst, const void* src, std::size_t n) noexcept;
 /// On non-x86 builds this degrades to __builtin_memcpy.
 void* zc_memcpy(void* dst, const void* src, std::size_t n) noexcept;
 
+/// Non-temporal streaming copy for large payloads: 16-byte SSE2 loads +
+/// `movntdq` stores bypass the cache hierarchy, so a 1 MB sector copy does
+/// not evict the working set (then a trailing sfence orders the stores).
+/// Falls back to zc_memcpy for overlapping buffers and on non-x86 builds.
+void* zc_memcpy_nt(void* dst, const void* src, std::size_t n) noexcept;
+
 /// tlibc memset / memcmp companions (byte-wise, as in the SDK subset).
 void* tmemset(void* dst, int value, std::size_t n) noexcept;
 int tmemcmp(const void* a, const void* b, std::size_t n) noexcept;
@@ -34,6 +40,7 @@ int tmemcmp(const void* a, const void* b, std::size_t n) noexcept;
 enum class MemcpyKind {
   kIntel,  ///< vanilla SDK algorithm (paper's baseline)
   kZc,     ///< rep-movsb optimised version (paper's contribution)
+  kZcNt,   ///< always-streaming variant (non-temporal stores)
 };
 
 /// Selects the process-wide active memcpy. Thread-safe; takes effect for
@@ -46,8 +53,17 @@ MemcpyKind active_memcpy_kind() noexcept;
 /// Copies through the active implementation.
 void* active_memcpy(void* dst, const void* src, std::size_t n) noexcept;
 
-/// Human-readable name ("intel" / "zc").
+/// Human-readable name ("intel" / "zc" / "zc_nt").
 const char* to_string(MemcpyKind kind) noexcept;
+
+/// Copies of at least this many bytes through the kZc active kind are
+/// routed to the non-temporal variant automatically (large sectors should
+/// not thrash the cache even when the caller selected plain "zc").
+/// 0 disables auto-routing.  Thread-safe; takes effect for later copies.
+void set_memcpy_nt_threshold(std::size_t bytes) noexcept;
+
+/// Current auto-streaming threshold (default 256 KB; 0 = off).
+std::size_t memcpy_nt_threshold() noexcept;
 
 /// RAII guard that selects a memcpy kind and restores the previous one.
 class ScopedMemcpy {

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
 
 namespace zc {
 namespace {
@@ -91,6 +96,135 @@ TEST(BumpPool, ExhaustiveFillWithSmallAllocations) {
   // The buffer's own base alignment may cost one 64-byte slot.
   EXPECT_GE(count, (1u << 16) / 64 - 1);
   EXPECT_LE(count, (1u << 16) / 64);
+}
+
+// --- SlabPool ----------------------------------------------------------------
+
+TEST(SlabPool, ClassSizesArePowersOfTwoFromMinBlock) {
+  SlabPool pool;
+  ASSERT_GT(pool.class_count(), 0u);
+  EXPECT_EQ(pool.class_size(0), SlabPool::kMinBlock);
+  for (unsigned i = 1; i < pool.class_count(); ++i) {
+    EXPECT_EQ(pool.class_size(i), pool.class_size(i - 1) * 2);
+  }
+  EXPECT_GE(pool.class_size(pool.class_count() - 1), pool.max_block());
+}
+
+TEST(SlabPool, AllocationsAreCacheLineAlignedAndWritable) {
+  SlabPool pool;
+  for (const std::size_t n : {1u, 200u, 256u, 300u, 70'000u}) {
+    void* p = pool.allocate(n);
+    ASSERT_NE(p, nullptr) << n;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % SlabPool::kBlockAlign, 0u)
+        << n;
+    std::memset(p, 0xCD, n);
+    pool.free(p);
+  }
+}
+
+TEST(SlabPool, FreeThenAllocateReusesBlocks) {
+  SlabPool pool;
+  void* a = pool.allocate(1000);
+  pool.free(a);
+  // Same thread, same class: the magazine must serve the freed block back.
+  void* b = pool.allocate(1000);
+  EXPECT_EQ(a, b);
+  pool.free(b);
+}
+
+TEST(SlabPool, CountsHitsMissesAndGrows) {
+  SlabPool pool;
+  EXPECT_EQ(pool.hit_count() + pool.miss_count(), 0u);
+  void* first = pool.allocate(512);  // cold class: miss + grow
+  EXPECT_EQ(pool.miss_count(), 1u);
+  EXPECT_GE(pool.grow_count(), 1u);
+  // The carve put sibling blocks on the free list: subsequent allocs hit.
+  void* second = pool.allocate(512);
+  EXPECT_GE(pool.hit_count(), 1u);
+  pool.free(first);
+  pool.free(second);
+  void* third = pool.allocate(512);  // magazine hit
+  const std::uint64_t hits = pool.hit_count();
+  EXPECT_GE(hits, 2u);
+  pool.free(third);
+}
+
+TEST(SlabPool, MirrorsCountersIntoExternalPaddedCounters) {
+  PaddedCounter hits, misses, grows;
+  SlabPool pool;
+  pool.set_counters(SlabPool::Counters{&hits, &misses, &grows});
+  void* p = pool.allocate(4096);
+  pool.free(p);
+  p = pool.allocate(4096);
+  pool.free(p);
+  EXPECT_EQ(hits.load(), pool.hit_count());
+  EXPECT_EQ(misses.load(), pool.miss_count());
+  EXPECT_EQ(grows.load(), pool.grow_count());
+  EXPECT_GE(hits.load(), 1u);
+  EXPECT_GE(misses.load(), 1u);
+}
+
+TEST(SlabPool, OversizeRequestsNeverRefuse) {
+  SlabPool pool(/*max_block=*/64 * 1024);
+  void* p = pool.allocate(10u << 20);  // far past the largest class
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % SlabPool::kBlockAlign, 0u);
+  std::memset(p, 0x5A, 10u << 20);
+  pool.free(p);
+}
+
+TEST(SlabPool, OwnsTracksSlabMemoryNotOversize) {
+  SlabPool pool;
+  void* small = pool.allocate(256);
+  EXPECT_TRUE(pool.owns(small));
+  int local = 0;
+  EXPECT_FALSE(pool.owns(&local));
+  pool.free(small);
+}
+
+TEST(SlabPool, CrossThreadFreeReturnsBlocksToThePool) {
+  SlabPool pool;
+  void* p = pool.allocate(2048);
+  ASSERT_NE(p, nullptr);
+  std::jthread t([&] { pool.free(p); });
+  t.join();
+  // The block went to the freeing thread's magazine or the central list;
+  // either way this thread can keep allocating without issue.
+  void* q = pool.allocate(2048);
+  ASSERT_NE(q, nullptr);
+  pool.free(q);
+}
+
+TEST(SlabPool, ConcurrentAllocFreeStress) {
+  SlabPool pool;
+  PaddedCounter hits, misses, grows;
+  pool.set_counters(SlabPool::Counters{&hits, &misses, &grows});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2'000;
+  std::vector<std::jthread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      std::vector<void*> held;
+      held.reserve(8);
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t n = 256u << ((i + t) % 5);
+        void* p = pool.allocate(n);
+        ASSERT_NE(p, nullptr);
+        static_cast<std::uint8_t*>(p)[0] = static_cast<std::uint8_t>(i);
+        static_cast<std::uint8_t*>(p)[n - 1] = static_cast<std::uint8_t>(t);
+        held.push_back(p);
+        if (held.size() == 8) {
+          for (void* h : held) pool.free(h);
+          held.clear();
+        }
+      }
+      for (void* h : held) pool.free(h);
+    });
+  }
+  threads.clear();  // join
+  EXPECT_GE(hits.load() + misses.load(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 }  // namespace

@@ -536,6 +536,69 @@ TEST_F(BackendRegistryTest, GateWaitPoliciesAreValidated) {
                BackendSpecError);
 }
 
+TEST_F(BackendRegistryTest, PoolAndCopyOptionsAreValidated) {
+  auto& registry = BackendRegistry::instance();
+  // The whole ZC family takes the data-plane knobs, including the sharded
+  // router's flat per-shard options.
+  EXPECT_NE(registry.create(*enclave_, "zc:pool=slab"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc:pool=bump"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc:pool=slab;copy=single"), nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_batched:pool=slab;copy=single"),
+            nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_async:pool=slab;copy=single"),
+            nullptr);
+  EXPECT_NE(registry.create(*enclave_, "zc_sharded:pool=slab;copy=single"),
+            nullptr);
+  EXPECT_NE(registry.create(
+                *enclave_,
+                "zc_sharded:shards=2;inner=(zc_batched:workers=1;batch=4;"
+                "pool=slab;copy=single)"),
+            nullptr);
+
+  // The chosen discipline surfaces through CallBackend::copy_mode().
+  EXPECT_EQ(registry.create(*enclave_, "zc:workers=1")->copy_mode(),
+            CopyMode::kDouble);
+  EXPECT_EQ(registry.create(*enclave_, "zc:copy=single")->copy_mode(),
+            CopyMode::kSingle);
+  EXPECT_EQ(registry.create(*enclave_, "zc_async:copy=single")->copy_mode(),
+            CopyMode::kSingle);
+  EXPECT_EQ(registry
+                .create(*enclave_,
+                        "zc_sharded:shards=2;inner=(zc:copy=single)")
+                ->copy_mode(),
+            CopyMode::kSingle);
+
+  // Bad values name the accepted set.
+  for (const char* bad : {"zc:pool=banana", "zc_batched:pool=0",
+                          "zc_async:pool=arena"}) {
+    try {
+      registry.create(*enclave_, bad);
+      FAIL() << bad << " accepted";
+    } catch (const BackendSpecError& e) {
+      EXPECT_NE(std::string(e.what()).find("bump"), std::string::npos)
+          << e.what();
+    }
+  }
+  for (const char* bad : {"zc:copy=banana", "zc_batched:copy=2",
+                          "zc_async:copy=zero"}) {
+    try {
+      registry.create(*enclave_, bad);
+      FAIL() << bad << " accepted";
+    } catch (const BackendSpecError& e) {
+      EXPECT_NE(std::string(e.what()).find("double"), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // The fixed-policy baselines take neither knob.
+  EXPECT_THROW(registry.create(*enclave_, "no_sl:pool=slab"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "hotcalls:copy=single"),
+               BackendSpecError);
+  EXPECT_THROW(registry.create(*enclave_, "intel:sl=all;pool=slab"),
+               BackendSpecError);
+}
+
 TEST_F(BackendRegistryTest, AsyncValueErrorsAreTyped) {
   auto& registry = BackendRegistry::instance();
   EXPECT_THROW(registry.create(*enclave_, "zc_async:workers=0"),

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -85,8 +86,27 @@ std::vector<std::string> all_backend_specs() {
   specs.push_back(
       "zc_sharded:shards=2;inner=(zc_async:workers=1;queue=8;ring=on;"
       "coalesce=on)");
+  // The large-payload data plane: size-classed slab frames and the
+  // single-copy discipline.  copy=single switches the differential driver
+  // onto the in-place producer/consumer path, whose digests must match the
+  // double-copy baseline bit for bit.
+  specs.push_back("zc:workers=2;pool=slab");
+  specs.push_back("zc:workers=2;pool=slab;copy=single");
+  specs.push_back(
+      "zc_batched:workers=2;batch=2;flush_us=100;pool=slab;copy=single");
+  specs.push_back("zc_async:workers=2;queue=4;pool=slab;copy=single");
+  specs.push_back(
+      "zc_sharded:shards=2;inner=(zc:workers=1;pool=slab;copy=single)");
   return specs;
 }
+
+// Trusted-worker twins of the single-copy data-plane specs above.
+const char* kSingleCopyEcallSpecs[] = {
+    "zc:direction=ecall;scheduler=off;workers=1;pool=slab;copy=single",
+    "zc_batched:direction=ecall;workers=1;batch=2;flush_us=100;pool=slab;"
+    "copy=single",
+    "zc_async:direction=ecall;workers=1;queue=4;pool=slab;copy=single",
+};
 
 // Composed ecall-plane specs checked on top of the per-key ecall variants
 // (the trusted-worker twins of the composed ocall specs above).
@@ -221,11 +241,29 @@ std::uint64_t fnv1a(const void* data, std::size_t n,
   return h;
 }
 
+// Single-copy driver callbacks (plain function pointers, per CallDesc):
+// the producer copies the caller's pseudo-random bytes straight into the
+// untrusted frame, the consumer reads the handler's result straight out.
+struct DiffInplaceCtx {
+  const std::uint8_t* in = nullptr;
+  std::uint8_t* out = nullptr;
+};
+
+void diff_produce(void* dst, std::size_t n, void* ctx) {
+  std::memcpy(dst, static_cast<DiffInplaceCtx*>(ctx)->in, n);
+}
+
+void diff_consume(const void* src, std::size_t n, void* ctx) {
+  std::memcpy(static_cast<DiffInplaceCtx*>(ctx)->out, src, n);
+}
+
 struct DifferentialOutcome {
   std::uint64_t digest = 0;        ///< order-independent result digest
   std::uint64_t handler_calls = 0; ///< executions observed by the handler
   std::uint64_t backend_calls = 0; ///< backend counter total
   std::uint64_t issued = 0;        ///< calls issued by the drivers
+  std::uint64_t copies_elided = 0; ///< staging copies the data plane skipped
+  CopyMode mode = CopyMode::kDouble;
 };
 
 // Runs the workload through `spec` on a fresh enclave: `threads` callers,
@@ -252,12 +290,18 @@ DifferentialOutcome run_differential(const std::string& spec_text,
     }
     handler_calls.fetch_add(1, std::memory_order_relaxed);
   };
-  const std::uint32_t fn_id = ecall
-                                  ? enclave->ecalls().register_fn("mix", handler)
-                                  : enclave->ocalls().register_fn("mix", handler);
+  // The mix handler works on call.payload in place, so it is safe for the
+  // single-copy discipline; declare that so copy=single specs exercise it.
+  const HandlerTraits traits{/*in_place_capable=*/true};
+  const std::uint32_t fn_id =
+      ecall ? enclave->ecalls().register_fn("mix", handler, traits)
+            : enclave->ocalls().register_fn("mix", handler, traits);
   install_backend_spec(*enclave, spec_text);
 
   DifferentialOutcome out;
+  out.mode = ecall ? enclave->ecall_backend().copy_mode()
+                   : enclave->backend().copy_mode();
+  const CopyMode mode = out.mode;
   std::atomic<std::uint64_t> digest{0};
   std::atomic<std::uint64_t> issued{0};
   {
@@ -278,10 +322,19 @@ DifferentialOutcome run_differential(const std::string& spec_text,
           desc.fn_id = fn_id;
           desc.args = &args;
           desc.args_size = sizeof(args);
-          desc.in_payload = in.data();
-          desc.in_size = n;
-          desc.out_payload = out_buf.data();
-          desc.out_size = n;
+          DiffInplaceCtx ctx{in.data(), out_buf.data()};
+          if (mode == CopyMode::kSingle) {
+            desc.in_size = n;
+            desc.out_size = n;
+            desc.produce_in = &diff_produce;
+            desc.consume_out = &diff_consume;
+            desc.inplace_ctx = &ctx;
+          } else {
+            desc.in_payload = in.data();
+            desc.in_size = n;
+            desc.out_payload = out_buf.data();
+            desc.out_size = n;
+          }
           if (ecall) {
             enclave->ecall_fn(desc);
           } else {
@@ -299,6 +352,9 @@ DifferentialOutcome run_differential(const std::string& spec_text,
   out.issued = issued.load();
   out.backend_calls = ecall ? enclave->ecall_backend().stats().total_calls()
                             : enclave->backend().stats().total_calls();
+  out.copies_elided = ecall
+                          ? enclave->ecall_backend().stats_snapshot().copies_elided
+                          : enclave->backend().stats_snapshot().copies_elided;
   if (ecall) {
     enclave->set_ecall_backend(nullptr);
   } else {
@@ -320,6 +376,14 @@ TEST(BackendDifferentialTest, RandomizedOcallWorkloadIsIdenticalEverywhere) {
         << spec << ": lost or duplicated calls";
     EXPECT_EQ(got.backend_calls, got.issued)
         << spec << ": backend counters disagree with issued calls";
+    if (spec.find("copy=single") != std::string::npos) {
+      // The single-copy discipline really ran: two staging copies (one per
+      // direction) were elided for every issued call.
+      EXPECT_EQ(got.mode, CopyMode::kSingle) << spec;
+      EXPECT_EQ(got.copies_elided, 2 * got.issued) << spec;
+    } else {
+      EXPECT_EQ(got.copies_elided, 0u) << spec;
+    }
   }
 }
 
@@ -354,6 +418,16 @@ TEST(BackendDifferentialTest, RandomizedEcallWorkloadIsIdenticalEverywhere) {
         << spec << ": lost or duplicated calls";
     EXPECT_EQ(got.backend_calls, got.issued)
         << spec << ": backend counters disagree with issued calls";
+  }
+  // And the single-copy data plane on the trusted side: identical digests,
+  // with both staging copies elided per call.
+  for (const char* spec : kSingleCopyEcallSpecs) {
+    const DifferentialOutcome got = run_differential(spec, threads, calls);
+    EXPECT_EQ(got.digest, ref.digest) << spec;
+    EXPECT_EQ(got.handler_calls, ref.handler_calls)
+        << spec << ": lost or duplicated calls";
+    EXPECT_EQ(got.mode, CopyMode::kSingle) << spec;
+    EXPECT_EQ(got.copies_elided, 2 * got.issued) << spec;
   }
 }
 

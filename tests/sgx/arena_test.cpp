@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -38,6 +39,34 @@ TEST(ScratchArena, ReusesBufferForSmallerRequests) {
   void* b = arena.acquire(500);
   EXPECT_EQ(a, b);  // same buffer, no reallocation
   EXPECT_EQ(arena.capacity(), 4096u);
+}
+
+TEST(ScratchArena, AcquireIsCacheLineAligned) {
+  // Frames must keep 64-byte alignment (slab pool parity), both from the
+  // initial reservation and after every growth reallocation.
+  ScratchArena arena(256);
+  for (const std::size_t n : {1u, 64u, 257u, 4096u, 100'000u}) {
+    void* p = arena.acquire(n);
+    ASSERT_NE(p, nullptr) << n;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << n;
+  }
+}
+
+TEST(ScratchArena, GrowCountTracksReallocationsOnly) {
+  ScratchArena arena(1024);
+  EXPECT_EQ(arena.grow_count(), 0u);
+  arena.acquire(512);  // within reservation
+  arena.acquire(1024);
+  EXPECT_EQ(arena.grow_count(), 0u);
+  arena.acquire(2048);  // first growth
+  EXPECT_EQ(arena.grow_count(), 1u);
+  const std::size_t high_water = arena.capacity();
+  arena.acquire(1500);  // below the high-water mark: reuse, no growth
+  arena.acquire(high_water);
+  EXPECT_EQ(arena.grow_count(), 1u);
+  EXPECT_EQ(arena.capacity(), high_water);
+  arena.acquire(high_water + 1);  // watermark rises again
+  EXPECT_EQ(arena.grow_count(), 2u);
 }
 
 TEST(ScratchArena, ThreadLocalInstancesAreDistinct) {

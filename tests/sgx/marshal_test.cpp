@@ -159,6 +159,224 @@ TEST(Marshal, ArgsAreAlignedTo16) {
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(call.args) % 16, 0u);
 }
 
+// --- Scatter-gather payloads -------------------------------------------------
+
+TEST(MarshalScatterGather, GathersInSegmentsIntoOneContiguousPayload) {
+  DemoArgs args;
+  const std::string a = "alpha-", b = "beta-", c = "gamma";
+  const IoVec segs[3] = {{a.data(), a.size()},
+                         {b.data(), b.size()},
+                         {c.data(), c.size()}};
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_segs = segs;
+  desc.in_seg_count = 3;
+  EXPECT_EQ(desc.total_in_size(), a.size() + b.size() + c.size());
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_NE(call.payload, nullptr);
+  ASSERT_EQ(call.payload_size, desc.total_in_size());
+  EXPECT_EQ(std::memcmp(call.payload, "alpha-beta-gamma", call.payload_size),
+            0);
+}
+
+TEST(MarshalScatterGather, ScattersOutBytesAcrossSegments) {
+  DemoArgs args;
+  std::vector<char> head(4, '\0');
+  std::vector<char> tail(12, '\0');
+  const IoVecMut segs[2] = {{head.data(), head.size()},
+                            {tail.data(), tail.size()}};
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.out_segs = segs;
+  desc.out_seg_count = 2;
+  EXPECT_EQ(desc.total_out_size(), 16u);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_EQ(call.payload_size, 16u);
+  std::memcpy(call.payload, "HEADtail-payload", 16);
+  unmarshal_from(call, desc);
+  EXPECT_EQ(std::string(head.begin(), head.end()), "HEAD");
+  EXPECT_EQ(std::string(tail.begin(), tail.end()), "tail-payload");
+}
+
+TEST(MarshalScatterGather, ZeroLengthSegmentsAreSkipped) {
+  DemoArgs args;
+  const std::string a = "xy", b = "z";
+  const IoVec in_segs[4] = {{nullptr, 0},
+                            {a.data(), a.size()},
+                            {nullptr, 0},
+                            {b.data(), b.size()}};
+  std::vector<char> out(3, '\0');
+  const IoVecMut out_segs[3] = {{nullptr, 0},
+                                {out.data(), out.size()},
+                                {nullptr, 0}};
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_segs = in_segs;
+  desc.in_seg_count = 4;
+  desc.out_segs = out_segs;
+  desc.out_seg_count = 3;
+  EXPECT_EQ(desc.total_in_size(), 3u);
+  EXPECT_EQ(desc.total_out_size(), 3u);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_EQ(call.payload_size, 3u);
+  EXPECT_EQ(std::memcmp(call.payload, "xyz", 3), 0);
+  std::memcpy(call.payload, "ZYX", 3);
+  unmarshal_from(call, desc);
+  EXPECT_EQ(std::string(out.begin(), out.end()), "ZYX");
+}
+
+TEST(MarshalScatterGather, SegmentedRoundTripMatchesContiguous) {
+  // The same logical payload marshalled segmented and contiguous must
+  // produce identical frames, and the frame capacity must be reusable
+  // across descriptor forms.
+  DemoArgs args;
+  std::vector<char> in(4096);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<char>(i * 31 + 7);
+  }
+  const IoVec segs[3] = {{in.data(), 1000},
+                         {in.data() + 1000, 1},
+                         {in.data() + 1001, in.size() - 1001}};
+  CallDesc seg_desc;
+  seg_desc.args = &args;
+  seg_desc.args_size = sizeof(args);
+  seg_desc.in_segs = segs;
+  seg_desc.in_seg_count = 3;
+
+  CallDesc flat_desc;
+  flat_desc.args = &args;
+  flat_desc.args_size = sizeof(args);
+  flat_desc.in_payload = in.data();
+  flat_desc.in_size = in.size();
+
+  ASSERT_EQ(frame_bytes(seg_desc), frame_bytes(flat_desc));
+  std::vector<std::byte> mem(frame_bytes(seg_desc));
+  MarshalledCall seg_call = marshal_into(mem.data(), seg_desc);
+  std::vector<std::byte> seg_frame(mem);  // snapshot
+
+  // Reuse the same memory for the contiguous form.
+  MarshalledCall flat_call = marshal_into(mem.data(), flat_desc);
+  EXPECT_EQ(seg_call.payload_size, flat_call.payload_size);
+  EXPECT_EQ(seg_frame, mem);
+}
+
+// --- Single-copy (in-place producer/consumer) --------------------------------
+
+namespace single_copy {
+
+struct ProduceCtx {
+  const char* src;
+  int calls = 0;
+};
+
+void fill_upper(void* dst, std::size_t n, void* ctx) {
+  auto* c = static_cast<ProduceCtx*>(ctx);
+  ++c->calls;
+  for (std::size_t i = 0; i < n; ++i) {
+    static_cast<char*>(dst)[i] =
+        static_cast<char>(c->src[i] - 'a' + 'A');
+  }
+}
+
+struct ConsumeCtx {
+  std::vector<char> seen;
+  int calls = 0;
+};
+
+void capture(const void* src, std::size_t n, void* ctx) {
+  auto* c = static_cast<ConsumeCtx*>(ctx);
+  ++c->calls;
+  c->seen.assign(static_cast<const char*>(src),
+                 static_cast<const char*>(src) + n);
+}
+
+}  // namespace single_copy
+
+TEST(MarshalSingleCopy, ProducerWritesPayloadDirectlyIntoFrame) {
+  DemoArgs args;
+  single_copy::ProduceCtx ctx{"abcdef"};
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_size = 6;
+  desc.produce_in = &single_copy::fill_upper;
+  desc.inplace_ctx = &ctx;
+  EXPECT_TRUE(desc.single_copy());
+  EXPECT_EQ(copies_elided_by(desc), 1u);
+  EXPECT_EQ(desc.total_in_size(), 6u);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_EQ(call.payload_size, 6u);
+  EXPECT_EQ(std::memcmp(call.payload, "ABCDEF", 6), 0);
+  EXPECT_EQ(ctx.calls, 1);
+  EXPECT_NE(call.flags & MarshalledCall::kSingleCopy, 0u);
+
+  auto* header = reinterpret_cast<FrameHeader*>(mem.data());
+  EXPECT_NE(header->flags & MarshalledCall::kSingleCopy, 0u);
+  EXPECT_NE(frame_view(mem.data()).flags & MarshalledCall::kSingleCopy, 0u);
+}
+
+TEST(MarshalSingleCopy, ConsumerReadsPayloadDirectlyFromFrame) {
+  DemoArgs args;
+  single_copy::ConsumeCtx ctx;
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.out_size = 8;
+  desc.consume_out = &single_copy::capture;
+  desc.inplace_ctx = &ctx;
+  EXPECT_EQ(copies_elided_by(desc), 1u);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  ASSERT_EQ(call.payload_size, 8u);
+  std::memcpy(call.payload, "RESULTS!", 8);
+  unmarshal_from(call, desc);
+  EXPECT_EQ(ctx.calls, 1);
+  EXPECT_EQ(std::string(ctx.seen.begin(), ctx.seen.end()), "RESULTS!");
+}
+
+TEST(MarshalSingleCopy, BidirectionalElidesBothStagingCopies) {
+  DemoArgs args;
+  single_copy::ProduceCtx pctx{"hello"};
+  single_copy::ConsumeCtx cctx;
+  CallDesc desc;
+  desc.args = &args;
+  desc.args_size = sizeof(args);
+  desc.in_size = 5;
+  desc.out_size = 5;
+  desc.produce_in = &single_copy::fill_upper;
+  desc.consume_out = &single_copy::capture;
+  desc.inplace_ctx = &pctx;  // producer runs first...
+  EXPECT_EQ(copies_elided_by(desc), 2u);
+
+  std::vector<std::byte> mem(frame_bytes(desc));
+  MarshalledCall call = marshal_into(mem.data(), desc);
+  EXPECT_EQ(std::memcmp(call.payload, "HELLO", 5), 0);
+  desc.inplace_ctx = &cctx;  // ...then the consumer reads the echo back
+  unmarshal_from(call, desc);
+  EXPECT_EQ(std::string(cctx.seen.begin(), cctx.seen.end()), "HELLO");
+}
+
+TEST(MarshalSingleCopy, DoubleCopyDescriptorElidesNothing) {
+  CallDesc desc;
+  static char buf[8];
+  desc.in_payload = buf;
+  desc.in_size = sizeof(buf);
+  EXPECT_FALSE(desc.single_copy());
+  EXPECT_EQ(copies_elided_by(desc), 0u);
+}
+
 class MarshalMemcpyKind : public ::testing::TestWithParam<tlibc::MemcpyKind> {};
 
 TEST_P(MarshalMemcpyKind, RoundTripIdenticalUnderBothMemcpys) {

@@ -23,7 +23,11 @@ class MemcpyCorrectness
           std::tuple<int, std::size_t, std::size_t, std::size_t>> {
  protected:
   static CopyFn fn() {
-    return std::get<0>(GetParam()) == 0 ? &intel_memcpy : &zc_memcpy;
+    switch (std::get<0>(GetParam())) {
+      case 0: return &intel_memcpy;
+      case 1: return &zc_memcpy;
+      default: return &zc_memcpy_nt;
+    }
   }
 };
 
@@ -46,13 +50,14 @@ TEST_P(MemcpyCorrectness, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     AlignmentSweep, MemcpyCorrectness,
-    ::testing::Combine(::testing::Values(0, 1),  // intel, zc
+    ::testing::Combine(::testing::Values(0, 1, 2),  // intel, zc, zc_nt
                        ::testing::Values(0u, 1u, 7u, 8u, 15u, 64u, 511u,
                                          4096u, 32'768u),
                        ::testing::Values(0u, 1u, 3u, 7u),   // src offset
                        ::testing::Values(0u, 1u, 4u, 7u)),  // dst offset
     [](const auto& info) {
-      return std::string(std::get<0>(info.param) == 0 ? "intel" : "zc") +
+      const int impl = std::get<0>(info.param);
+      return std::string(impl == 0 ? "intel" : impl == 1 ? "zc" : "zc_nt") +
              "_n" + std::to_string(std::get<1>(info.param)) + "_s" +
              std::to_string(std::get<2>(info.param)) + "_d" +
              std::to_string(std::get<3>(info.param));
@@ -60,7 +65,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 class MemcpyOverlap : public ::testing::TestWithParam<int> {
  protected:
-  static CopyFn fn() { return GetParam() == 0 ? &intel_memcpy : &zc_memcpy; }
+  static CopyFn fn() {
+    switch (GetParam()) {
+      case 0: return &intel_memcpy;
+      case 1: return &zc_memcpy;
+      default: return &zc_memcpy_nt;  // overlap must fall back safely
+    }
+  }
 };
 
 TEST_P(MemcpyOverlap, ForwardOverlapCopiesBackwards) {
@@ -101,10 +112,11 @@ TEST_P(MemcpyOverlap, ZeroLengthTouchesNothing) {
   EXPECT_EQ(buf, (std::vector<std::uint8_t>{7, 7, 7}));
 }
 
-INSTANTIATE_TEST_SUITE_P(BothImpls, MemcpyOverlap, ::testing::Values(0, 1),
+INSTANTIATE_TEST_SUITE_P(AllImpls, MemcpyOverlap, ::testing::Values(0, 1, 2),
                          [](const auto& info) {
-                           return info.param == 0 ? std::string("intel")
-                                                  : std::string("zc");
+                           return info.param == 0   ? std::string("intel")
+                                  : info.param == 1 ? std::string("zc")
+                                                    : std::string("zc_nt");
                          });
 
 TEST(Tmemset, FillsExactRange) {
@@ -159,6 +171,64 @@ TEST(ActiveMemcpy, ScopedGuardRestores) {
 TEST(ActiveMemcpy, Names) {
   EXPECT_STREQ(to_string(MemcpyKind::kIntel), "intel");
   EXPECT_STREQ(to_string(MemcpyKind::kZc), "zc");
+  EXPECT_STREQ(to_string(MemcpyKind::kZcNt), "zc_nt");
+}
+
+TEST(ActiveMemcpy, ZcNtKindCopiesThroughStreamingPath) {
+  ScopedMemcpy guard(MemcpyKind::kZcNt);
+  EXPECT_EQ(active_memcpy_kind(), MemcpyKind::kZcNt);
+  std::vector<std::uint8_t> src(200'000);
+  std::vector<std::uint8_t> dst(200'000, 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  active_memcpy(dst.data() + 1, src.data() + 3, src.size() - 3);
+  EXPECT_EQ(std::memcmp(dst.data() + 1, src.data() + 3, src.size() - 3), 0);
+}
+
+// --- Streaming auto-threshold ------------------------------------------------
+//
+// Mutating tests restore the compile-time default (256 KB) so the default
+// assertion holds regardless of execution order.
+
+TEST(NtThreshold, DefaultIs256K) {
+  EXPECT_EQ(memcpy_nt_threshold(), 256u * 1024u);
+}
+
+TEST(NtThreshold, SetterIsObservable) {
+  set_memcpy_nt_threshold(4096);
+  EXPECT_EQ(memcpy_nt_threshold(), 4096u);
+  set_memcpy_nt_threshold(0);
+  EXPECT_EQ(memcpy_nt_threshold(), 0u);
+  set_memcpy_nt_threshold(256 * 1024);
+}
+
+TEST(NtThreshold, ZcRoutesLargeCopiesCorrectlyAboveThreshold) {
+  // kZc copies at/above the threshold take the non-temporal path; the
+  // observable contract is byte-exactness either side of the boundary.
+  ScopedMemcpy guard(MemcpyKind::kZc);
+  set_memcpy_nt_threshold(1024);
+  std::vector<std::uint8_t> src(8192);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i ^ (i >> 5));
+  }
+  for (const std::size_t n : {512u, 1023u, 1024u, 1025u, 8000u}) {
+    std::vector<std::uint8_t> dst(n + 8, 0xAB);
+    active_memcpy(dst.data() + 5, src.data() + 2, n);  // unaligned both ends
+    EXPECT_EQ(std::memcmp(dst.data() + 5, src.data() + 2, n), 0) << n;
+    EXPECT_EQ(dst[n + 5], 0xAB) << n;  // no overrun
+  }
+  set_memcpy_nt_threshold(256 * 1024);
+}
+
+TEST(NtThreshold, ZeroDisablesAutoRouting) {
+  ScopedMemcpy guard(MemcpyKind::kZc);
+  set_memcpy_nt_threshold(0);
+  std::vector<std::uint8_t> src(512 * 1024, 0x3C);
+  std::vector<std::uint8_t> dst(512 * 1024, 0);
+  active_memcpy(dst.data(), src.data(), src.size());
+  EXPECT_EQ(dst, src);
+  set_memcpy_nt_threshold(256 * 1024);
 }
 
 TEST(MemcpyPerformance, IntelUnalignedIsSlowerThanAligned) {
